@@ -1,0 +1,16 @@
+"""Shared state for the benchmark suite.
+
+One :class:`PerformanceSimulator` is shared across all benchmark files so
+chunk simulations are computed once per (variant, K) and reused — the
+same caching a user sweeping shapes would rely on.
+"""
+
+import pytest
+
+from repro.runtime.simulator import PerformanceSimulator
+from repro.sunway.arch import SW26010PRO
+
+
+@pytest.fixture(scope="session")
+def sim():
+    return PerformanceSimulator(SW26010PRO)

@@ -1,0 +1,85 @@
+"""§8.5 — engineering cost: code generation in (milli)seconds.
+
+The paper contrasts months of manual development (xMath: "a couple of
+months to finish the implementation and another several months to tune")
+with seconds of compiler time, including the integer solver of the
+polyhedral model.  These benchmarks time the actual pipeline stages.
+"""
+
+import pytest
+
+from repro.core import CompilerOptions, GemmCompiler, GemmSpec
+from repro.core.decomposition import decompose
+from repro.core.dma import derive_dma_specs
+from repro.core.tile_model import plan_for_kernel, search_optimal_shape
+from repro.frontend import compile_c, extract_spec
+from repro.frontend.cparser import parse_c
+from repro.sunway.arch import SW26010PRO
+
+GEMM_C = """
+void gemm(int M, int N, int K, double alpha,
+          double A[M][K], double B[K][N], double C[M][N]) {
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < N; j++)
+      for (int k = 0; k < K; k++)
+        C[i][j] = C[i][j] + alpha * A[i][k] * B[k][j];
+}
+"""
+
+
+def test_full_compilation_seconds(benchmark):
+    program = benchmark(lambda: compile_c(GEMM_C))
+    assert program.codegen_seconds < 1.0  # §8.5: "only takes several seconds"
+
+
+def test_frontend_parse(benchmark):
+    unit = benchmark(lambda: parse_c(GEMM_C))
+    assert unit.functions[0].name == "gemm"
+
+
+def test_pattern_recognition(benchmark):
+    spec = benchmark(lambda: extract_spec(GEMM_C))
+    assert spec.c_name == "C"
+
+
+def test_analytical_tile_search(benchmark):
+    """The paper's 'integer linear solver' analogue: the analytical shape
+    search over the full candidate space."""
+    best, _ = benchmark(lambda: search_optimal_shape(SW26010PRO))
+    assert (best.mt, best.nt, best.kt) == (64, 64, 32)
+
+
+def test_polyhedral_passes(benchmark):
+    options = CompilerOptions.full()
+    plan = plan_for_kernel(SW26010PRO, options)
+
+    def passes():
+        dec = decompose(GemmSpec(), plan, options)
+        return derive_dma_specs(dec)
+
+    specs = benchmark(passes)
+    assert set(specs) == {"getA", "getB", "getC", "putC"}
+
+
+def test_backend_ast_and_print(benchmark):
+    program = GemmCompiler(SW26010PRO, CompilerOptions.full()).compile(GemmSpec())
+    source = benchmark(program.cpe_source)
+    assert "dma_iget" in source
+
+
+def test_all_variants_compile_quickly(benchmark):
+    variants = [
+        CompilerOptions.baseline(),
+        CompilerOptions.with_asm(),
+        CompilerOptions.with_rma(),
+        CompilerOptions.full(),
+    ]
+
+    def compile_all():
+        return [
+            GemmCompiler(SW26010PRO, options).compile(GemmSpec())
+            for options in variants
+        ]
+
+    programs = benchmark(compile_all)
+    assert len(programs) == 4

@@ -1,0 +1,63 @@
+"""Fig. 13 — performance breakdown + square-shape GEMM vs xMath.
+
+Regenerates both halves of the paper's Fig. 13: the four compiler
+variants (automatic DMA baseline, + inline assembly kernel, + RMA
+broadcasts, + memory latency hiding) over twelve square shapes, plus the
+xMath comparison.  The assertions pin the qualitative claims of §8.1-8.2;
+EXPERIMENTS.md records the quantitative paper-vs-measured deltas.
+"""
+
+import pytest
+
+from repro.bench.harness import fig13_breakdown
+from repro.bench.report import print_figure
+from repro.sunway.arch import SW26010PRO
+
+
+@pytest.fixture(scope="module")
+def result(sim):
+    return fig13_breakdown(sim)
+
+
+def test_fig13_breakdown(benchmark, sim, result):
+    benchmark.pedantic(
+        lambda: sim.breakdown(1024, 1024, 1024), rounds=1, iterations=1
+    )
+    print_figure(result, ["shape", "dma-only", "+asm", "+rma", "+hiding", "xmath"])
+    agg = result.aggregate
+
+    # The staircase (paper: 84.89 → 240.39 → 1052.94 → 1849.06 Gflops).
+    assert agg["mean_dma-only"] == pytest.approx(84.89, rel=0.08)
+    assert agg["mean_+hiding"] == pytest.approx(1849.06, rel=0.10)
+    assert 2.0 < agg["speedup_asm_over_baseline"] < 4.5   # paper 2.83x
+    assert 2.3 < agg["speedup_rma_over_asm"] < 5.5        # paper 4.38x
+    assert 1.3 < agg["speedup_hiding_over_rma"] < 2.5     # paper 1.76x
+    assert agg["speedup_total"] > 15                      # paper 23.72x
+
+    # Peak fraction (paper: 90.14% at the rightmost shape).
+    assert 0.84 < agg["best_peak_fraction"] < 0.93
+
+    # vs xMath (paper: +9.62% mean on squares; wins leftmost four).
+    assert 1.0 < agg["ours_vs_xmath"] < 1.35
+    assert agg["xmath_wins_small"] >= 3
+
+    # Small-K shapes underperform (paper: leftmost bars < 1800 Gflops).
+    smallest = result.rows[0]["+hiding"]
+    largest = result.rows[-1]["+hiding"]
+    assert smallest < 1800 < largest
+
+
+def test_fig13_baseline_is_flat(result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    values = [row["dma-only"] for row in result.rows]
+    assert max(values) - min(values) < 0.06 * max(values)
+
+
+def test_fig13_xmath_degrades_on_non_pow2(result, benchmark):
+    """§8.2: xMath under 1500 Gflops for the large non-pow2 squares."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_shape = {row["K"]: row["xmath"] for row in result.rows}
+    for K in (7680, 10240, 15360):
+        assert by_shape[K] < 1500
+        row = next(r for r in result.rows if r["K"] == K)
+        assert row["+hiding"] > row["xmath"]

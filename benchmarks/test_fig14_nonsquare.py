@@ -1,0 +1,61 @@
+"""Fig. 14 — GEMM with 36 non-square shapes vs xMath (§8.2)."""
+
+import pytest
+
+from repro.bench.harness import fig14_nonsquare
+from repro.bench.report import print_figure
+from repro.sunway.arch import SW26010PRO
+
+
+@pytest.fixture(scope="module")
+def result(sim):
+    return fig14_nonsquare(sim)
+
+
+def test_fig14_nonsquare(benchmark, sim, result):
+    benchmark.pedantic(
+        lambda: sim.simulate(2048, 4096, 8192), rounds=1, iterations=1
+    )
+    print_figure(result, ["shape", "ours", "xmath"])
+    agg = result.aggregate
+
+    # Means (paper: ours 1911.22 vs xMath 1846.96, +9.25%).
+    assert agg["mean_ours"] == pytest.approx(1911.22, rel=0.08)
+    assert 0.95 < agg["ours_vs_xmath"] < 1.25
+
+    # Both peak near the same shape class (paper: 90.03% vs 93.53% at
+    # 4096×16384×16384).
+    assert 0.85 < agg["best_ours_peak"] < 0.93
+    assert agg["best_xmath_peak"] == pytest.approx(0.9353, abs=0.01)
+
+    # Exactly nine degradation shapes, all with non-pow2 K (paper:
+    # "observed for nine times").
+    assert agg["xmath_degradations"] == 9
+    for row in result.rows:
+        if row["degraded"]:
+            assert not row["k_pow2"]
+
+    # Ours beats xMath strongly on the degraded set (paper: +58.95%)...
+    assert agg["ours_on_degraded_vs_xmath"] > 1.35
+    # ...and concedes a little on pow2 K (paper: −7.32%).
+    assert 0.85 < agg["ours_on_pow2_vs_xmath"] < 1.02
+
+
+def test_fig14_peak_shape_is_wide_k(result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    best = max(result.rows, key=lambda r: r["ours"])
+    assert best["K"] >= 8192
+
+
+def test_fig14_ours_stable_vs_xmath_fluctuating(result, benchmark):
+    """§8.2: our method exhibits a more stable trend than the library."""
+    import statistics
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ours_cv = statistics.pstdev([r["ours"] for r in result.rows]) / statistics.mean(
+        [r["ours"] for r in result.rows]
+    )
+    lib_cv = statistics.pstdev([r["xmath"] for r in result.rows]) / statistics.mean(
+        [r["xmath"] for r in result.rows]
+    )
+    assert ours_cv < lib_cv

@@ -1,0 +1,54 @@
+"""Fig. 16 — fusion with a prologue/epilogue vs xMath+MPE baselines (§8.4)."""
+
+import pytest
+
+from repro.bench.harness import fig16_fusion
+from repro.bench.report import print_figure
+from repro.core.options import CompilerOptions
+
+
+@pytest.fixture(scope="module")
+def result(sim):
+    return fig16_fusion(sim)
+
+
+def test_fig16_fusion(benchmark, sim, result):
+    benchmark.pedantic(
+        lambda: sim.simulate(
+            2048, 2048, 2048, CompilerOptions.full().with_(fusion="epilogue")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(result, ["pattern", "shape", "ours", "baseline"])
+    agg = result.aggregate
+
+    # Prologue (paper: 1709.81 vs 1436.46, 1.26×).
+    assert agg["mean_ours_prologue"] == pytest.approx(1709.81, rel=0.10)
+    assert agg["mean_baseline_prologue"] == pytest.approx(1436.46, rel=0.10)
+    assert 1.1 < agg["speedup_prologue"] < 1.5
+
+    # Epilogue (paper: 1818.24 vs 919.56, 2.11×).
+    assert agg["mean_ours_epilogue"] == pytest.approx(1818.24, rel=0.10)
+    assert agg["mean_baseline_epilogue"] == pytest.approx(919.56, rel=0.12)
+    assert 1.7 < agg["speedup_epilogue"] < 2.6
+
+    # Combined (paper: 1.67×).
+    assert 1.4 < agg["speedup_combined"] < 2.1
+
+
+def test_fig16_epilogue_never_loses(result, benchmark):
+    """§8.4: fusion with the epilogue introduces no recomputation and
+    steadily outperforms the library baseline on every shape."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for row in result.rows:
+        if row["pattern"] == "epilogue":
+            assert row["ours"] > row["baseline"], row["shape"]
+
+
+def test_fig16_prologue_costs_more_than_epilogue(result, benchmark):
+    """The quantisation recomputation makes fused-prologue slower than
+    fused-epilogue on the same shapes (paper: 1709.81 vs 1818.24)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    agg = result.aggregate
+    assert agg["mean_ours_prologue"] < agg["mean_ours_epilogue"]

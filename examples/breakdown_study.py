@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's §8.1 performance breakdown for one shape.
+
+Compiles the same GEMM four times — automatic DMA only (the red bars of
+Fig. 13), + inline assembly kernel (orange), + RMA broadcasts (green),
++ two-level memory latency hiding (cyan) — and reports the simulated
+Gflops of each variant next to the xMath library model.
+
+Run:  python examples/breakdown_study.py [M N K]
+"""
+
+import sys
+
+from repro import CompilerOptions, PerformanceSimulator
+from repro.runtime.analytical import predict
+from repro.xmath.perfmodel import xmath_gflops
+
+
+def main() -> None:
+    M, N, K = (int(a) for a in sys.argv[1:4]) if len(sys.argv) > 3 else (4096, 4096, 4096)
+    sim = PerformanceSimulator()
+    peak = sim.arch.peak_gflops
+    print(f"shape {M}x{N}x{K} on {sim.arch.name} "
+          f"(theoretical peak {peak:.0f} Gflops)\n")
+
+    print(f"{'variant':>10s} {'Gflops':>10s} {'% peak':>8s} {'step':>7s}")
+    previous = None
+    for name, perf in sim.breakdown(M, N, K).items():
+        step = f"{perf.gflops / previous:5.2f}x" if previous else "      "
+        print(f"{name:>10s} {perf.gflops:10.1f} {100 * perf.peak_fraction:7.1f}% {step:>7s}")
+        previous = perf.gflops
+
+    lib = xmath_gflops(M, N, K, sim.arch)
+    print(f"{'xMath':>10s} {lib:10.1f} {100 * lib / peak:7.1f}%")
+
+    # Where does the time go?  The closed-form model's phase breakdown.
+    phases = predict(M, N, K, CompilerOptions.full())
+    print("\nanalytical phase breakdown of the fully optimised variant:")
+    for phase in ("kernel", "rma_exposed", "dma_exposed", "c_traffic", "sync"):
+        seconds = getattr(phases, phase)
+        print(f"  {phase:>12s}: {seconds * 1e3:9.3f} ms "
+              f"({100 * seconds / phases.total:5.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Classic setuptools entry point.
+
+The reproduction environment has no network access and no ``wheel``
+package, so PEP-517 editable installs cannot build; this setup.py lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "swgemm: automatic generation of high-performance GEMM kernels for "
+        "the SW26010Pro Sunway processor (ICPP'22 reproduction)"
+    ),
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["swgemm=repro.cli:main"]},
+)

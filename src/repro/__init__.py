@@ -1,0 +1,50 @@
+"""swgemm — Automatically Generating High-performance Matrix
+Multiplication Kernels on the Latest Sunway Processor (ICPP '22),
+reproduced as a Python library.
+
+The package implements the paper's polyhedral GEMM compiler end to end —
+C frontend, schedule trees, compute decomposition, automatic DMA/RMA,
+two-level memory latency hiding, athread code generation — together with
+every substrate the evaluation depends on: a functional + timed simulator
+of one SW26010Pro core group, the vendor micro-kernel contract, and an
+xMath baseline model.  See DESIGN.md for the inventory and EXPERIMENTS.md
+for paper-vs-measured results.
+
+Quick start::
+
+    from repro import compile_c, run_gemm
+    import numpy as np
+
+    program = compile_c(open("gemm.c").read())
+    A = np.random.rand(1024, 1024); B = np.random.rand(1024, 1024)
+    C, report = run_gemm(program, A, B, np.zeros((1024, 1024)), beta=0.0)
+    print(report.gflops, "Gflops (simulated)")
+"""
+
+from repro.core import CompilerOptions, GemmCompiler, GemmSpec
+from repro.frontend import compile_c, extract_spec, parse_c
+from repro.runtime import CompiledProgram, ExecutionReport, Executor, run_gemm
+from repro.runtime.simulator import PerformanceSimulator
+from repro.sunway import SW26010, SW26010PRO, TOY_ARCH, ArchSpec, Cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GemmCompiler",
+    "GemmSpec",
+    "CompilerOptions",
+    "compile_c",
+    "extract_spec",
+    "parse_c",
+    "CompiledProgram",
+    "Executor",
+    "ExecutionReport",
+    "run_gemm",
+    "PerformanceSimulator",
+    "ArchSpec",
+    "Cluster",
+    "SW26010PRO",
+    "SW26010",
+    "TOY_ARCH",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Benchmark harness: regenerates every evaluation figure of the paper.
+
+* :mod:`repro.bench.shapes` — the shape lists of Figs. 13-16;
+* :mod:`repro.bench.harness` — per-figure drivers returning structured
+  rows (simulated swgemm variants vs the xMath model);
+* :mod:`repro.bench.report` — table rendering and paper-vs-measured
+  summaries (what EXPERIMENTS.md records).
+"""
+
+from repro.bench.harness import (
+    fig13_breakdown,
+    fig14_nonsquare,
+    fig15_batched,
+    fig16_fusion,
+)
+from repro.bench.shapes import (
+    FIG13_SQUARE_SHAPES,
+    FIG14_NONSQUARE_SHAPES,
+    FIG15_BATCHED,
+    FIG16_FUSION_SHAPES,
+)
+
+__all__ = [
+    "fig13_breakdown",
+    "fig14_nonsquare",
+    "fig15_batched",
+    "fig16_fusion",
+    "FIG13_SQUARE_SHAPES",
+    "FIG14_NONSQUARE_SHAPES",
+    "FIG15_BATCHED",
+    "FIG16_FUSION_SHAPES",
+]

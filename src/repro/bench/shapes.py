@@ -1,0 +1,131 @@
+"""The evaluation shapes (§8).
+
+The paper does not tabulate its shape lists; they are reconstructed from
+the constraints and callouts in the text:
+
+* §8.1: square shapes with M, N multiples of 512 and K multiples of 256,
+  twelve bars per variant in Fig. 13, the rightmost being 15360³; §8.2
+  names 6144³, 7680³, 10240³ and 15360³ explicitly;
+* §8.2/Fig. 14: 36 non-square shapes; both systems peak at
+  4096×16384×16384; xMath exceeds 93% "multiple times when the size of
+  the k dimension is 16384"; degradation is "observed for nine times,
+  each with the k dimension not being a power of two", worst at
+  8192×8192×15360 (42.25%);
+* §8.3/Fig. 15: four batch sizes (2, 4, 8, 16), six shapes each, "the
+  sizes of the k dimension are selected as powers of two or not evenly";
+  the best point is batch 2 with 4096×4096×16384;
+* §8.4/Fig. 16: twelve shapes per fusion pattern; 10752³ and
+  8192×16384×8192 are named as cases where the unfused baseline wins the
+  prologue comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+Shape = Tuple[int, int, int]
+
+#: Fig. 13 — twelve square shapes (K non-powers-of-two included so the
+#: xMath degradation cases 6144/7680/10240/15360 appear, as §8.2 reports).
+FIG13_SQUARE_SHAPES: List[Shape] = [
+    (n, n, n)
+    for n in (
+        1024, 2048, 3072, 4096, 5120, 6144,
+        7680, 8192, 10240, 12288, 14336, 15360,
+    )
+]
+
+#: Fig. 14 — 36 non-square shapes.  27 have power-of-two K; the nine
+#: shapes with large non-power-of-two K are the degradation cases.
+FIG14_NONSQUARE_SHAPES: List[Shape] = [
+    # K = 16384 block: where xMath repeatedly exceeds 93% of peak.
+    (4096, 16384, 16384),
+    (8192, 8192, 16384),
+    (16384, 4096, 16384),
+    (2048, 8192, 16384),
+    (8192, 16384, 16384),
+    (16384, 16384, 16384),
+    (16384, 2048, 16384),
+    # K = 8192.
+    (4096, 8192, 8192),
+    (8192, 4096, 8192),
+    (16384, 8192, 8192),
+    (2048, 4096, 8192),
+    (8192, 2048, 8192),
+    (4096, 16384, 8192),
+    # K = 4096.
+    (8192, 8192, 4096),
+    (16384, 8192, 4096),
+    (4096, 2048, 4096),
+    (2048, 16384, 4096),
+    (16384, 16384, 4096),
+    # K = 2048.
+    (8192, 4096, 2048),
+    (16384, 16384, 2048),
+    (4096, 8192, 2048),
+    # K = 1024.
+    (8192, 8192, 1024),
+    (16384, 8192, 1024),
+    (4096, 4096, 1024),
+    # K = 5120 (non-pow2, moderate size: mild degradation only).
+    (8192, 8192, 5120),
+    (4096, 4096, 5120),
+    (2048, 8192, 5120),
+    # --- the nine heavy-degradation shapes: large non-pow2 K ------------
+    (8192, 8192, 15360),  # the paper's 42.25% case
+    (4096, 8192, 15360),
+    (16384, 4096, 15360),
+    (8192, 4096, 10240),
+    (4096, 4096, 10240),
+    (16384, 8192, 10240),
+    (8192, 16384, 10240),
+    (8192, 8192, 12288),
+    (4096, 16384, 12288),
+]
+
+#: Shapes whose K is a large non-power-of-two (the Fig. 14 degradation set).
+FIG14_DEGRADED = [s for s in FIG14_NONSQUARE_SHAPES if s[2] in (10240, 12288, 15360)]
+
+#: Fig. 15 — batched GEMM: four batch sizes × six shapes.
+FIG15_BATCH_SIZES: List[int] = [2, 4, 8, 16]
+FIG15_SHAPES: List[Shape] = [
+    (1024, 1024, 8192),
+    (2048, 2048, 4096),
+    (4096, 4096, 16384),  # the 90.43%-of-peak best point at batch 2
+    (1024, 1024, 5120),
+    (2048, 2048, 10240),
+    (4096, 4096, 8192),
+]
+FIG15_BATCHED: List[Tuple[int, Shape]] = [
+    (batch, shape) for batch in FIG15_BATCH_SIZES for shape in FIG15_SHAPES
+]
+
+#: Fig. 16 — fusion patterns: twelve shapes, evaluated once with the
+#: quantisation prologue and once with the activation epilogue.
+FIG16_FUSION_SHAPES: List[Shape] = [
+    (2048, 2048, 2048),
+    (4096, 4096, 4096),
+    (6144, 6144, 6144),
+    (8192, 8192, 8192),
+    (10752, 10752, 10752),  # recomputation along j makes the baseline win
+    (12288, 12288, 12288),
+    (4096, 8192, 4096),
+    (8192, 16384, 8192),  # named baseline win for the prologue pattern
+    (8192, 4096, 8192),
+    (4096, 16384, 16384),
+    (8192, 8192, 5120),
+    (16384, 8192, 8192),
+]
+
+
+def validate_shape(shape: Shape) -> None:
+    """Every evaluation shape obeys §8.1's divisibility constraints."""
+    M, N, K = shape
+    assert M % 512 == 0 and N % 512 == 0, f"{shape}: M,N must be multiples of 512"
+    assert K % 256 == 0, f"{shape}: K must be a multiple of 256"
+
+
+for _shape in (
+    FIG13_SQUARE_SHAPES + FIG14_NONSQUARE_SHAPES + FIG15_SHAPES + FIG16_FUSION_SHAPES
+):
+    validate_shape(_shape)

@@ -1,0 +1,152 @@
+"""Command-line interface.
+
+Mirrors the surface described in §8::
+
+    swgemm compile gemm.c -o outdir            # athread C files
+    swgemm compile gemm.c --no-use-asm         # bypass the asm kernel
+    swgemm compile gemm.c --batch              # batched GEMM
+    swgemm run gemm.c -M 1024 -N 1024 -K 1024  # simulate functionally
+    swgemm perf -M 4096 -N 4096 -K 4096        # timed simulation vs xMath
+    swgemm tree gemm.c                         # dump the schedule tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_GEMM_C = """\
+void gemm(int M, int N, int K, double alpha,
+          double A[M][K], double B[K][N], double C[M][N]) {
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < N; j++)
+      for (int k = 0; k < K; k++)
+        C[i][j] = C[i][j] + alpha * A[i][k] * B[k][j];
+}
+"""
+
+
+def _load_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    return Path(path).read_text()
+
+
+def _build_program(args) -> "CompiledProgram":
+    from repro.core.options import CompilerOptions
+    from repro.frontend import compile_c
+
+    source = _load_source(args.source) if args.source else DEFAULT_GEMM_C
+    options = None
+    if args.no_use_asm or args.no_rma or args.no_hiding:
+        options = CompilerOptions(
+            batch=args.batch,
+            use_asm=not args.no_use_asm,
+            enable_rma=not args.no_rma,
+            enable_latency_hiding=not (args.no_hiding or args.no_use_asm),
+        )
+    return compile_c(source, options=options)
+
+
+def cmd_compile(args) -> int:
+    program = _build_program(args)
+    outdir = Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+    (outdir / "gemm_cpe.c").write_text(program.cpe_source())
+    (outdir / "gemm_mpe.c").write_text(program.mpe_source())
+    print(f"wrote {outdir}/gemm_cpe.c and {outdir}/gemm_mpe.c")
+    print(f"code generation took {program.codegen_seconds * 1e3:.2f} ms")
+    print(f"SPM plan: {program.plan.describe()}")
+    return 0
+
+
+def cmd_tree(args) -> int:
+    program = _build_program(args)
+    print(program.tree_dump())
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.runtime.executor import run_gemm
+
+    program = _build_program(args)
+    rng = np.random.default_rng(args.seed)
+    A = rng.standard_normal((args.M, args.K))
+    B = rng.standard_normal((args.K, args.N))
+    C = np.zeros((args.M, args.N))
+    C, report = run_gemm(program, A, B, C, alpha=args.alpha, beta=0.0)
+    reference = args.alpha * (A @ B)
+    error = float(np.abs(C - reference).max())
+    print(f"max |C - reference| = {error:.3e}")
+    print(
+        f"simulated time {report.elapsed_seconds * 1e3:.3f} ms "
+        f"({report.gflops:.1f} Gflops of useful work)"
+    )
+    return 0 if error < 1e-8 else 1
+
+
+def cmd_perf(args) -> int:
+    from repro.runtime.simulator import PerformanceSimulator
+    from repro.xmath.perfmodel import xmath_gflops
+
+    sim = PerformanceSimulator()
+    for variant, perf in sim.breakdown(args.M, args.N, args.K).items():
+        print(f"{variant:>9s}: {perf.gflops:8.1f} Gflops "
+              f"({100 * perf.peak_fraction:5.1f}% of peak)")
+    lib = xmath_gflops(args.M, args.N, args.K, sim.arch)
+    print(f"{'xMath':>9s}: {lib:8.1f} Gflops "
+          f"({100 * lib / sim.arch.peak_gflops:5.1f}% of peak)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="swgemm",
+        description="Automatic GEMM kernel generation for SW26010Pro "
+        "(ICPP'22 reproduction on a simulated core group)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, with_source=True):
+        if with_source:
+            p.add_argument("source", nargs="?", help="C input file (- for stdin; "
+                           "omit for the canonical naive GEMM)")
+        p.add_argument("--batch", action="store_true", help="batched GEMM input")
+        p.add_argument("--no-use-asm", action="store_true",
+                       help="bypass the inline assembly kernel")
+        p.add_argument("--no-rma", action="store_true",
+                       help="disable RMA broadcasts")
+        p.add_argument("--no-hiding", action="store_true",
+                       help="disable memory latency hiding")
+
+    p_compile = sub.add_parser("compile", help="generate athread C files")
+    add_common(p_compile)
+    p_compile.add_argument("-o", "--output", default="swgemm_out")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_tree = sub.add_parser("tree", help="dump the final schedule tree")
+    add_common(p_tree)
+    p_tree.set_defaults(func=cmd_tree)
+
+    p_run = sub.add_parser("run", help="execute functionally on the simulator")
+    add_common(p_run)
+    for dim, default in (("M", 512), ("N", 512), ("K", 256)):
+        p_run.add_argument(f"-{dim}", type=int, default=default)
+    p_run.add_argument("--alpha", type=float, default=1.0)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(func=cmd_run)
+
+    p_perf = sub.add_parser("perf", help="timed simulation vs xMath")
+    for dim, default in (("M", 4096), ("N", 4096), ("K", 4096)):
+        p_perf.add_argument(f"-{dim}", type=int, default=default)
+    p_perf.set_defaults(func=cmd_perf)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

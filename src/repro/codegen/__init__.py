@@ -1,0 +1,19 @@
+"""Code generation backends.
+
+Two consumers share the AST produced by :mod:`repro.poly.astgen`:
+
+* :mod:`repro.codegen.printer` pretty-prints athread C source — the MPE
+  file containing ``main`` and the CPE file with the SPM buffers, DMA/RMA
+  calls and the inline assembly kernel invocation (§7);
+* the interpreter in :mod:`repro.runtime.executor` runs the same AST on
+  the simulated cluster.
+
+:mod:`repro.codegen.microkernel` models the vendor's inline assembly
+micro kernel (§7.2) behind its fixed call contract, and
+:mod:`repro.codegen.elementwise` hosts the quantisation/activation
+functions used by the DL fusion patterns (§7.3).
+"""
+
+from repro.codegen.microkernel import AsmMicroKernel, NaiveKernel, get_kernel
+
+__all__ = ["AsmMicroKernel", "NaiveKernel", "get_kernel"]

@@ -1,0 +1,85 @@
+"""Element-wise functions for the DL fusion patterns (§7.3).
+
+The paper evaluates two patterns: a *quantisation* prologue over the input
+matrix A and an *activation* epilogue over C.  The registry below provides
+each function in three forms:
+
+* a NumPy implementation (used by the simulator and reference results);
+* a scalar C expression template (used by the athread printer);
+* a cost in elements/second class (all are simple enough to run at the
+  CPE's vectorised element-wise rate, or the MPE's scalar rate for the
+  library baselines).
+
+All functions are deterministic so fused and unfused executions can be
+compared bit-for-bit in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ElementwiseFunc:
+    """One element-wise function with per-processor cost rates.
+
+    ``cpe_rate``/``mpe_rate`` are elements/second on a CPE (vectorised,
+    SPM-resident tile) and on the MPE (scalar, through the cache
+    hierarchy and DDR).  The asymmetries are calibrated against §8.4:
+    quantisation's round-to-nearest has no CPE SIMD form (making the
+    fused prologue's recomputation visible, −9% as in Fig. 16 upper),
+    while the activation's ``exp`` is what makes the MPE-side epilogue
+    baseline collapse to ~40% of peak (Fig. 16 lower)."""
+
+    name: str
+    numpy_fn: Callable[[np.ndarray], np.ndarray]
+    c_template: str  # e.g. "fmax({x}, 0.0)"
+    cpe_rate: float = 2.0e9
+    mpe_rate: float = 3.0e8
+
+
+def _quant(x: np.ndarray) -> np.ndarray:
+    """A simple symmetric fixed-point quantisation (1/16 steps): the kind
+    of element-wise prologue DL inference applies to weight matrices."""
+    return np.round(x * 16.0) / 16.0
+
+
+_REGISTRY: Dict[str, ElementwiseFunc] = {
+    "quant": ElementwiseFunc(
+        "quant", _quant, "round({x} * 16.0) / 16.0",
+        cpe_rate=3.3e8, mpe_rate=4.5e8,
+    ),
+    "relu": ElementwiseFunc(
+        "relu", lambda x: np.maximum(x, 0.0), "fmax({x}, 0.0)",
+        cpe_rate=2.0e9, mpe_rate=3.0e8,
+    ),
+    "sigmoid": ElementwiseFunc(
+        "sigmoid", lambda x: 1.0 / (1.0 + np.exp(-x)), "1.0 / (1.0 + exp(-({x})))",
+        cpe_rate=6.0e8, mpe_rate=1.15e8,
+    ),
+    "tanh": ElementwiseFunc(
+        "tanh", np.tanh, "tanh({x})", cpe_rate=6.0e8, mpe_rate=1.2e8
+    ),
+    "identity": ElementwiseFunc(
+        "identity", lambda x: x, "{x}", cpe_rate=4.0e9, mpe_rate=1.0e9
+    ),
+}
+
+
+def get_elementwise(name: str) -> ElementwiseFunc:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown element-wise function {name!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_functions() -> Dict[str, ElementwiseFunc]:
+    return dict(_REGISTRY)

@@ -1,0 +1,224 @@
+"""Automating DMA communication (§4).
+
+Derives, for each matrix, the complete argument list of the
+``dma_iget``/``dma_iput`` interfaces::
+
+    dma_iget(&local_M[0][0], &M[r][c], X_τ·Y_τ, Y_τ, Y − Y_τ, &reply)
+
+from the polyhedral objects of the decomposition:
+
+* the **footprint box** of the access relation over one CPE's statement
+  instances (point loops ranging, outer loop variables symbolic) yields
+  the tile extents ``X_τ × Y_τ``, hence ``size`` and ``len``;
+* the footprint's **lower-bound expressions** — the access map composed
+  with the reconstruction map at point-loop origin — yield the start
+  coordinates ``(r, c)`` of Eq. (1) as quasi-affine expressions over
+  ``ic, jc, Rid, Cid, ko, …``;
+* ``strip`` is the leading dimension minus ``len`` (Fig. 7), symbolic in
+  the matrix's column parameter.
+
+The RMA work distribution (§5) enters through one substitution: the slice
+loop variable ``km`` is fixed to the *owning* mesh coordinate (``Cid`` for
+A, ``Rid`` for B) because each CPE fetches exactly the slice it will later
+broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import CompilationError
+from repro.core.decomposition import Decomposition
+from repro.poly.affine import AffExpr, aff_const, aff_var
+from repro.poly.imap import AffineMap
+
+
+@dataclass(frozen=True)
+class DmaSpec:
+    """Everything needed to emit/execute one DMA message."""
+
+    array: str  # main-memory array name (A/B/C)
+    direction: str  # "get" | "put"
+    #: start coordinates in the (row, col) plane of the matrix
+    row_expr: AffExpr
+    col_expr: AffExpr
+    #: batched arrays carry a leading batch coordinate
+    batch_expr: Optional[AffExpr]
+    rows: int  # X_τ
+    cols: int  # Y_τ == len
+    #: parameter name of the matrix's column count (strip = ld − cols)
+    ld_param: str
+    #: SPM destination/source buffer and slot selector
+    buffer: str
+    slot_expr: AffExpr
+    #: reply counter base name and slot selector (counters are arrays when
+    #: double buffering is on)
+    reply: str
+    reply_slot_expr: AffExpr
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    def substituted(self, bindings: Mapping[str, AffExpr]) -> "DmaSpec":
+        """Issue-ahead rewriting: e.g. ``ko -> ko + 1`` for the software
+        pipeline's next-iteration prefetch (§6.1)."""
+        return replace(
+            self,
+            row_expr=self.row_expr.substitute(bindings),
+            col_expr=self.col_expr.substitute(bindings),
+            batch_expr=(
+                self.batch_expr.substitute(bindings) if self.batch_expr else None
+            ),
+            slot_expr=self.slot_expr.substitute(bindings),
+            reply_slot_expr=self.reply_slot_expr.substitute(bindings),
+        )
+
+
+def _point_origin(dec: Decomposition) -> Dict[str, AffExpr]:
+    return {var: aff_const(0) for var in ("ip", "jp", "kp")}
+
+
+def _footprint(
+    dec: Decomposition,
+    access: AffineMap,
+    owner_binding: Mapping[str, AffExpr],
+) -> Tuple[List[AffExpr], List[int]]:
+    """Start expressions and extents of one access's per-CPE footprint."""
+    plan = dec.plan
+    # Statement dims in terms of loop variables.
+    bindings = dict(dec.reconstruction)
+    exprs = [e.substitute(bindings) for e in access.exprs]
+    # Fix the slice owner (km -> Cid/Rid) where requested.
+    exprs = [e.substitute(dict(owner_binding)) for e in exprs]
+    # Extents: range of each subscript over the point loops only.
+    point_box = {"ip": (0, plan.mt - 1), "jp": (0, plan.nt - 1), "kp": (0, plan.kt - 1)}
+    starts: List[AffExpr] = []
+    extents: List[int] = []
+    for expr in exprs:
+        lo = expr.substitute(_point_origin(dec))
+        box = {v: (0, 0) for v in expr.variables() if v not in point_box}
+        box.update(point_box)
+        lo_val, hi_val = expr.interval(box)
+        starts.append(lo)
+        extents.append(hi_val - lo_val + 1)
+    return starts, extents
+
+
+def _check_contiguous(
+    dec: Decomposition, access: AffineMap, innermost_point: str
+) -> None:
+    """The last subscript must walk its point dimension with stride 1,
+    otherwise a two-level DMA loop (not expressible with the single strip
+    argument) would be required."""
+    last = access.exprs[-1].substitute(dec.reconstruction)
+    if last.coefficient(innermost_point) != 1:
+        raise CompilationError(
+            f"access {access} is not unit-stride in its last subscript; "
+            "the dma strip argument cannot describe it"
+        )
+
+
+def derive_dma_specs(dec: Decomposition) -> Dict[str, DmaSpec]:
+    """Build the DMA specs for A (get), B (get), C (get) and C (put)."""
+    spec = dec.spec
+    plan = dec.plan
+    parity = plan.double_buffered
+
+    batched = spec.is_batched
+    b_expr = aff_var("b") if batched else None
+
+    def slice_owner(owner: str) -> Dict[str, AffExpr]:
+        if plan.use_rma:
+            return {"km": aff_var(owner)}
+        return {}
+
+    accesses = {a.array: a.map for a in spec.accesses() if not a.is_write}
+    write_access = next(a.map for a in spec.accesses() if a.is_write)
+
+    def build(
+        array: str,
+        access: AffineMap,
+        direction: str,
+        owner: Optional[str],
+        ld_param: str,
+        buffer: str,
+        iter_var: Optional[str],
+        reply: str,
+    ) -> DmaSpec:
+        owner_binding = slice_owner(owner) if owner else {}
+        starts, extents = _footprint(dec, access, owner_binding)
+        if batched:
+            batch_start, row_start, col_start = starts
+            _, rows, cols = extents
+        else:
+            row_start, col_start = starts
+            rows, cols = extents
+            batch_start = None
+        slot = (
+            aff_var(iter_var).mod(2)
+            if (parity and iter_var is not None)
+            else aff_const(0)
+        )
+        return DmaSpec(
+            array=array,
+            direction=direction,
+            row_expr=row_start,
+            col_expr=col_start,
+            batch_expr=batch_start if batched else None,
+            rows=rows,
+            cols=cols,
+            ld_param=ld_param,
+            buffer=buffer,
+            slot_expr=slot,
+            reply=reply,
+            reply_slot_expr=slot,
+        )
+
+    k_iter = "ko" if plan.use_rma else "ktile"
+    specs: Dict[str, DmaSpec] = {}
+    # The leading dimension is the column extent of each operand's
+    # *storage* layout — which the transpose flags change.
+    a_ld = spec.a_dims()[1]
+    b_ld = spec.b_dims()[1]
+    specs["getA"] = build(
+        spec.a_name, accesses[spec.a_name], "get", "Cid",
+        a_ld, "local_A_dma", k_iter, "get_replyA",
+    )
+    specs["getB"] = build(
+        spec.b_name, accesses[spec.b_name], "get", "Rid",
+        b_ld, "local_B_dma", k_iter, "get_replyB",
+    )
+    # C is reused across the whole k loop: single slot, no parity.
+    specs["getC"] = build(
+        spec.c_name, accesses[spec.c_name], "get", None,
+        spec.n_param, "local_C", None, "get_replyC",
+    )
+    specs["putC"] = replace(
+        build(
+            spec.c_name, write_access, "put", None,
+            spec.n_param, "local_C", None, "put_replyC",
+        ),
+        direction="put",
+    )
+
+    # Sanity: footprints must match the buffer plan exactly (tiles are
+    # stored in the operands' own layouts, so transposes swap them).
+    expect = {
+        "getA": (plan.kt, plan.mt) if plan.trans_a else (plan.mt, plan.kt),
+        "getB": (plan.nt, plan.kt) if plan.trans_b else (plan.kt, plan.nt),
+        "getC": (plan.mt, plan.nt),
+        "putC": (plan.mt, plan.nt),
+    }
+    for name, (er, ec) in expect.items():
+        s = specs[name]
+        if (s.rows, s.cols) != (er, ec):
+            raise CompilationError(
+                f"{name} footprint {s.rows}x{s.cols} does not match the "
+                f"tile plan's {er}x{ec}"
+            )
+    _check_contiguous(dec, accesses[spec.a_name], "ip" if spec.trans_a else "kp")
+    _check_contiguous(dec, accesses[spec.b_name], "kp" if spec.trans_b else "jp")
+    _check_contiguous(dec, accesses[spec.c_name], "jp")
+    return specs

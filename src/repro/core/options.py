@@ -1,0 +1,105 @@
+"""Compiler options.
+
+Mirrors the command-line surface described in §8: the compiler generates
+athread code for one SW26010Pro cluster by default, ``--batch`` enables the
+batched-GEMM path (Fig. 3), ``--no-use-asm`` bypasses the inline assembly
+kernel and emits plain loop code.  The additional switches
+(``enable_rma`` / ``enable_latency_hiding``) expose the intermediate code
+variants of the performance breakdown (§8.1) — the paper's orange and
+green bars — and the fusion modes of §7.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+FUSION_MODES = ("none", "prologue", "epilogue")
+
+#: Element-wise functions available for fusion patterns.  ``quant`` is the
+#: quantisation prologue over A and ``relu`` the activation epilogue over C
+#: used in §8.4; the rest widen test coverage.
+ELEMENTWISE_FUNCS = ("quant", "relu", "sigmoid", "tanh", "identity")
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Immutable option set for one compilation."""
+
+    #: Treat the input as batched GEMM (``--batch``).
+    batch: bool = False
+    #: Use the vendor inline assembly micro kernel (§7.2); ``False``
+    #: corresponds to ``--no-use-asm``.
+    use_asm: bool = True
+    #: Share input tiles across the mesh with RMA broadcasts (§5).
+    enable_rma: bool = True
+    #: Two-level software pipelining + double buffering (§6).
+    enable_latency_hiding: bool = True
+    #: Fusion pattern: "none", "prologue" (quantisation of A) or
+    #: "epilogue" (activation of C) — §7.3.
+    fusion: str = "none"
+    #: Element-wise function used by the fused prologue.
+    prologue_func: str = "quant"
+    #: Element-wise function used by the fused epilogue.
+    epilogue_func: str = "relu"
+
+    def __post_init__(self) -> None:
+        if self.fusion not in FUSION_MODES:
+            raise ConfigurationError(
+                f"unknown fusion mode {self.fusion!r}; expected one of {FUSION_MODES}"
+            )
+        if self.prologue_func not in ELEMENTWISE_FUNCS:
+            raise ConfigurationError(f"unknown prologue func {self.prologue_func!r}")
+        if self.epilogue_func not in ELEMENTWISE_FUNCS:
+            raise ConfigurationError(f"unknown epilogue func {self.epilogue_func!r}")
+        if self.enable_latency_hiding and not self.use_asm:
+            # The paper's baseline (red bars) is DMA-only naive code; its
+            # pipeline is only meaningful around the fast kernel.  Allowing
+            # the combination would be harmless but would not correspond to
+            # any measured variant, so reject it loudly.
+            raise ConfigurationError(
+                "enable_latency_hiding requires use_asm (the breakdown's "
+                "baseline variant disables both)"
+            )
+
+    # -- named variants of the §8.1 breakdown -------------------------------
+
+    @staticmethod
+    def baseline() -> "CompilerOptions":
+        """Red bars: automatic DMA only, naive CPE loops."""
+        return CompilerOptions(
+            use_asm=False, enable_rma=False, enable_latency_hiding=False
+        )
+
+    @staticmethod
+    def with_asm() -> "CompilerOptions":
+        """Orange bars: + inline assembly micro kernel."""
+        return CompilerOptions(
+            use_asm=True, enable_rma=False, enable_latency_hiding=False
+        )
+
+    @staticmethod
+    def with_rma() -> "CompilerOptions":
+        """Green bars: + RMA broadcasts, latency hiding still off."""
+        return CompilerOptions(
+            use_asm=True, enable_rma=True, enable_latency_hiding=False
+        )
+
+    @staticmethod
+    def full() -> "CompilerOptions":
+        """Cyan bars: every optimisation on."""
+        return CompilerOptions()
+
+    def variant_name(self) -> str:
+        if not self.use_asm:
+            return "dma-only"
+        if not self.enable_rma:
+            return "+asm"
+        if not self.enable_latency_hiding:
+            return "+rma"
+        return "+hiding"
+
+    def with_(self, **overrides) -> "CompilerOptions":
+        return replace(self, **overrides)

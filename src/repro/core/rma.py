@@ -1,0 +1,97 @@
+"""Implementing RMA broadcast (§5).
+
+With the strip-mined decomposition, each CPE's DMA buffer holds exactly
+one of the eight k-slices of the current 256-element k chunk: CPE
+``(Rid, Cid)`` holds the A slice ``km = Cid`` of its mesh-row's panel and
+the B slice ``km = Rid`` of its mesh-column's panel.  At inner iteration
+``km = l`` the owning CPE broadcasts its slice:
+
+* ``A_τ`` travels along the mesh **row** (every CPE in the row needs the
+  same 64 rows of A) — sender condition ``Cid == l``;
+* ``B_τ`` travels along the mesh **column** — sender condition
+  ``Rid == l``.
+
+Both broadcasts are launched together after a ``synch()`` (§5's snippet),
+and double buffering (§6.3) gives the destination buffer and the reply
+counters a parity selector ``l mod 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping
+
+from repro.errors import CompilationError
+from repro.core.decomposition import Decomposition
+from repro.poly.affine import AffExpr, aff_const, aff_var
+
+
+@dataclass(frozen=True)
+class RmaSpec:
+    """Everything needed to emit/execute one RMA broadcast."""
+
+    matrix: str  # "A" | "B" (role, not array name)
+    kind: str  # "row" | "col"
+    #: mesh coordinate that owns the slice being broadcast
+    owner_var: str  # "Cid" for A, "Rid" for B
+    #: loop variable enumerating slices (the inner k loop)
+    slice_var: str  # "km"
+    src_buffer: str
+    src_slot_expr: AffExpr  # parity over the *outer* k loop (DMA level)
+    dst_buffer: str
+    dst_slot_expr: AffExpr  # parity over the *inner* k loop (RMA level)
+    size: int  # elements
+    replys: str
+    replyr: str
+    reply_slot_expr: AffExpr
+
+    def substituted(self, bindings: Mapping[str, AffExpr]) -> "RmaSpec":
+        """Issue-ahead rewriting (``km -> km + 1``) for the second-level
+        software pipeline (§6.1, Fig. 10c)."""
+        return replace(
+            self,
+            src_slot_expr=self.src_slot_expr.substitute(bindings),
+            dst_slot_expr=self.dst_slot_expr.substitute(bindings),
+            reply_slot_expr=self.reply_slot_expr.substitute(bindings),
+        )
+
+
+def derive_rma_specs(dec: Decomposition) -> Dict[str, RmaSpec]:
+    """Build the row broadcast for A and the column broadcast for B."""
+    plan = dec.plan
+    if not plan.use_rma:
+        raise CompilationError("RMA derivation requested but the plan has no RMA")
+    dma_parity = (
+        aff_var("ko").mod(2) if plan.double_buffered else aff_const(0)
+    )
+    bc_parity = aff_var("km").mod(2) if plan.double_buffered else aff_const(0)
+    specs: Dict[str, RmaSpec] = {}
+    specs["rbcastA"] = RmaSpec(
+        matrix="A",
+        kind="row",
+        owner_var="Cid",
+        slice_var="km",
+        src_buffer="local_A_dma",
+        src_slot_expr=dma_parity,
+        dst_buffer="local_A_bc",
+        dst_slot_expr=bc_parity,
+        size=plan.mt * plan.kt,
+        replys="rbcast_replysA",
+        replyr="rbcast_replyrA",
+        reply_slot_expr=bc_parity,
+    )
+    specs["cbcastB"] = RmaSpec(
+        matrix="B",
+        kind="col",
+        owner_var="Rid",
+        slice_var="km",
+        src_buffer="local_B_dma",
+        src_slot_expr=dma_parity,
+        dst_buffer="local_B_bc",
+        dst_slot_expr=bc_parity,
+        size=plan.kt * plan.nt,
+        replys="cbcast_replysB",
+        replyr="cbcast_replyrB",
+        reply_slot_expr=bc_parity,
+    )
+    return specs

@@ -1,0 +1,135 @@
+"""Shared exception hierarchy for the swgemm reproduction.
+
+Every subsystem raises subclasses of :class:`SwGemmError` so callers can
+catch reproduction-wide failures with a single ``except`` clause while still
+being able to distinguish the subsystem that failed.  The hierarchy mirrors
+the pipeline stages described in DESIGN.md:
+
+* frontend errors (:class:`FrontendError` and friends) are raised while
+  parsing or recognising the user's C input;
+* polyhedral errors (:class:`PolyhedralError`) are raised by the mini-isl
+  layer when a transformation is applied to an incompatible tree;
+* hardware errors (:class:`HardwareError`) are raised by the simulated
+  SW26010Pro core group — notably :class:`SPMOverflowError` and
+  :class:`SynchronizationError`, which are the simulator's way of proving
+  that the compiler's buffer plan and pipelining discipline are sound;
+* compilation errors (:class:`CompilationError`) cover the driver itself.
+"""
+
+from __future__ import annotations
+
+
+class SwGemmError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Frontend
+# ---------------------------------------------------------------------------
+
+
+class FrontendError(SwGemmError):
+    """Base class for errors raised while processing the C input."""
+
+
+class LexError(FrontendError):
+    """Raised when the lexer meets a character it cannot tokenise."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(FrontendError):
+    """Raised when the recursive-descent parser cannot continue."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(FrontendError):
+    """Raised when the input parses but violates the supported C subset."""
+
+
+class PatternError(FrontendError):
+    """Raised when no supported GEMM/batched/fusion pattern is recognised."""
+
+
+# ---------------------------------------------------------------------------
+# Polyhedral layer
+# ---------------------------------------------------------------------------
+
+
+class PolyhedralError(SwGemmError):
+    """Base class for the mini-isl layer."""
+
+
+class SpaceMismatchError(PolyhedralError):
+    """Raised when two polyhedral objects live in incompatible spaces."""
+
+
+class NonAffineError(PolyhedralError):
+    """Raised when an expression leaves the supported quasi-affine subset."""
+
+
+class EmptySetError(PolyhedralError):
+    """Raised when an operation requires a non-empty set but got none."""
+
+
+class ScheduleTreeError(PolyhedralError):
+    """Raised when a schedule-tree transformation is applied incorrectly."""
+
+
+class CodegenError(PolyhedralError):
+    """Raised while scanning a schedule tree to an AST."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated hardware
+# ---------------------------------------------------------------------------
+
+
+class HardwareError(SwGemmError):
+    """Base class for simulated SW26010Pro failures."""
+
+
+class SPMOverflowError(HardwareError):
+    """Raised when a buffer plan exceeds a CPE's scratch-pad capacity."""
+
+
+class InvalidDMAError(HardwareError):
+    """Raised for malformed DMA requests (bad size/len/strip, bounds)."""
+
+
+class InvalidRMAError(HardwareError):
+    """Raised for malformed RMA requests (bad root, size, buffers)."""
+
+
+class SynchronizationError(HardwareError):
+    """Raised when data is consumed before its reply counter was waited on,
+    or an RMA is issued without the mandatory ``synch()``."""
+
+
+class MeshError(HardwareError):
+    """Raised for invalid CPE-mesh coordinates or spawn misuse."""
+
+
+# ---------------------------------------------------------------------------
+# Compiler driver / runtime
+# ---------------------------------------------------------------------------
+
+
+class CompilationError(SwGemmError):
+    """Raised by the end-to-end :class:`repro.core.pipeline.GemmCompiler`."""
+
+
+class ExecutionError(SwGemmError):
+    """Raised by the AST interpreter while running a compiled program."""
+
+
+class ConfigurationError(SwGemmError):
+    """Raised for invalid compiler options or architecture specifications."""

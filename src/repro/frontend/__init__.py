@@ -1,0 +1,38 @@
+"""Restricted-C frontend.
+
+The paper's programmability claim: the user writes a *naive* GEMM loop
+nest in C (Fig. 2a) — no annotations, no pragmas, no library calls — and
+the compiler does the rest.  This package provides that contract:
+
+* :mod:`repro.frontend.lexer` / :mod:`repro.frontend.cparser` — tokenise
+  and parse the supported C subset (function definitions with VLA array
+  parameters, canonical ``for`` loops, affine subscripts, arithmetic
+  expressions and calls to known element-wise functions);
+* :mod:`repro.frontend.cast` — the C-level AST;
+* :mod:`repro.frontend.semantic` — symbol resolution, canonical-loop and
+  affine-subscript checking;
+* :mod:`repro.frontend.scop` — extraction of the polyhedral statements
+  (domains + access relations), the input to dependence analysis;
+* :mod:`repro.frontend.patterns` — recognition of the supported compute
+  patterns (GEMM, batched GEMM, quantisation prologue, activation
+  epilogue) and construction of the :class:`~repro.core.spec.GemmSpec`.
+
+Public helpers: :func:`parse_c`, :func:`extract_spec`, :func:`compile_c`.
+"""
+
+from repro.frontend.cparser import parse_c
+from repro.frontend.patterns import extract_spec
+
+
+def compile_c(source: str, arch=None, options=None):
+    """Full front door: C source → compiled athread program."""
+    from repro.core.pipeline import GemmCompiler
+    from repro.sunway.arch import SW26010PRO
+
+    spec, inferred = extract_spec(source, return_options=True)
+    if options is None:
+        options = inferred
+    return GemmCompiler(arch or SW26010PRO, options).compile(spec)
+
+
+__all__ = ["parse_c", "extract_spec", "compile_c"]

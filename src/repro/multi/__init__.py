@@ -1,0 +1,28 @@
+"""Multi-cluster GEMM: the paper's stated future work, implemented.
+
+§2.1 observes that "one can gradually break down a GEMM routine into
+independent smaller ones until each piece can be handled by a cluster",
+with MPI carrying the inter-cluster traffic, and §10 leaves automatic MPI
+generation as future work.  This package provides that layer for the
+simulated machine:
+
+* :mod:`repro.multi.comm` — a simulated MPI-style communicator over core
+  groups (mpi4py-flavoured API: ``bcast``/``scatter``/``gather``/
+  ``barrier``) with a network-on-chip cost model (SW26010Pro has six
+  core groups per processor; multiple processors connect through the
+  system interface);
+* :mod:`repro.multi.driver` — 2-D block decomposition of C over a
+  process grid, one compiled swgemm program per rank, scatter/broadcast
+  of the A row-panels and B column-panels, gather of C, and a timing
+  roll-up (max over ranks + communication).
+
+The per-rank compute is the *same* compiled program the single-cluster
+path validates — the decomposition is purely additive, exactly as the
+paper argues ("writing MPI messages will thus not incur too much
+engineering cost").
+"""
+
+from repro.multi.comm import NetworkSpec, SimComm
+from repro.multi.driver import MultiClusterGemm, MultiGemmReport
+
+__all__ = ["SimComm", "NetworkSpec", "MultiClusterGemm", "MultiGemmReport"]

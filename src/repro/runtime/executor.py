@@ -1,0 +1,578 @@
+"""AST interpreter over the simulated core group.
+
+Each CPE executes the *same* generated program (SPMD) with its own
+``Rid``/``Cid`` bindings, exactly as the athread slave function would.
+The interpreter runs the 64 programs as cooperatively scheduled
+coroutines: a CPE blocks (yields) when it spins on a reply counter whose
+transfer has not completed or when it arrives at the mesh barrier, so
+cross-CPE interactions — a receiver waiting for a broadcast its sender
+has not issued yet — behave exactly like the hardware's spin loops.  A
+scheduling round in which no CPE makes progress is reported as a
+deadlock with each CPE's blocking reason, which turns schedule bugs into
+actionable failures instead of hangs.
+
+Two modes share all of this logic:
+
+* ``move_data=True`` — functional execution: every DMA/RMA actually
+  copies NumPy data and the result must equal ``α·A·B + β·C``;
+* ``move_data=False`` — timing-only execution used by the benchmark
+  simulator: the same control flow and clock bookkeeping without the
+  copies.
+
+The virtual clocks advance through compute charges and transfer
+completions, so wall time *emerges from the schedule*: if the latency-
+hiding pass failed to overlap a transfer, the measured time shows it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.codegen.elementwise import get_elementwise
+from repro.codegen.microkernel import get_kernel
+from repro.poly.astnodes import (
+    AffRef,
+    ArrayRef,
+    BinExpr,
+    Block,
+    BlockOpStmt,
+    CommentStmt,
+    CommStmt,
+    Expr,
+    ForLoop,
+    IfStmt,
+    IntLit,
+    KernelCall,
+    NaiveComputeStmt,
+    Stmt,
+    VarRef,
+)
+from repro.runtime.program import CompiledProgram
+from repro.sunway.athread import AthreadRuntime
+from repro.sunway.cpe import CPE
+from repro.sunway.mesh import Cluster
+
+
+@dataclass
+class ExecutionReport:
+    """Result of one kernel launch."""
+
+    elapsed_seconds: float
+    useful_flops: float
+    padded_flops: float
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def gflops(self) -> float:
+        return self.useful_flops / self.elapsed_seconds / 1e9
+
+    @property
+    def padded_gflops(self) -> float:
+        return self.padded_flops / self.elapsed_seconds / 1e9
+
+
+class Executor:
+    """Interpret a compiled program on a (simulated) cluster."""
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        cluster: Optional[Cluster] = None,
+        move_data: bool = True,
+        scalar_naive: bool = False,
+    ) -> None:
+        self.program = program
+        self.cluster = cluster or Cluster(program.arch)
+        self.runtime = AthreadRuntime(
+            self.cluster, move_data, elem_bytes=program.spec.itemsize
+        )
+        # Single precision doubles the SIMD lanes: half the kernel time.
+        self._kernel_time_factor = program.spec.itemsize / 8.0
+        self.move_data = move_data
+        #: interpret NaiveComputeStmt with scalar Python loops (test oracle)
+        self.scalar_naive = scalar_naive
+        self.kernel = get_kernel(program.arch, program.options.use_asm)
+        self._blocked: Dict[Tuple[int, int], str] = {}
+        self._progress = 0
+
+    # ------------------------------------------------------------------
+    # Launch
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        params: Mapping[str, int],
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        reset: bool = True,
+    ) -> ExecutionReport:
+        program = self.program
+        spec = program.spec
+        M = params[spec.m_param]
+        N = params[spec.n_param]
+        K = params[spec.k_param]
+        if program.requires_padding(M, N, K):
+            raise ExecutionError(
+                f"shape {M}x{N}x{K} is not a multiple of the mesh chunk "
+                f"{program.plan.chunk_m}x{program.plan.chunk_n}x"
+                f"{program.plan.k_step}; use run_gemm (it zero-pads, §8.1)"
+            )
+        batch = params.get(spec.batch_param, 1) if spec.is_batched else 1
+
+        if reset:
+            self.cluster.reset_mesh()
+        self._allocate_spm()
+        self.cluster.begin_spawn()
+
+        coroutines: List[Tuple[CPE, Generator]] = []
+        for cpe in self.cluster.all_cpes():
+            env: Dict[str, object] = dict(params)
+            env["Rid"] = cpe.rid
+            env["Cid"] = cpe.cid
+            env["alpha"] = alpha
+            env["beta"] = beta
+            coroutines.append((cpe, self._exec_stmt(cpe, program.cpe_program.body, env)))
+        self._schedule(coroutines)
+
+        elapsed = self.cluster.elapsed()
+        return ExecutionReport(
+            elapsed_seconds=elapsed,
+            useful_flops=spec.flops(M, N, K, batch),
+            padded_flops=spec.flops(M, N, K, batch),
+            stats=self.cluster.total_stats(),
+        )
+
+    def _allocate_spm(self) -> None:
+        np_dtype = np.float64 if self.program.spec.dtype == "float64" else np.float32
+        for cpe in self.cluster.all_cpes():
+            for decl in self.program.cpe_program.buffers:
+                if decl.name not in cpe.spm:
+                    cpe.spm.alloc(decl.name, decl.shape, dtype=np_dtype)
+
+    # ------------------------------------------------------------------
+    # Virtual-time-ordered cooperative scheduler
+    # ------------------------------------------------------------------
+    #
+    # Shared resources (the DMA channel, the RMA row/column channels, the
+    # barrier) are modelled with availability times, so requests must be
+    # presented in (approximately) virtual-time order: always resume the
+    # runnable CPE whose clock is smallest — conservative discrete-event
+    # simulation with the coroutine as the event source.  Generators yield
+    # "step" after every clock-advancing statement and "blocked" when a
+    # spin-wait cannot complete; blocked CPEs re-poll whenever anyone else
+    # makes progress.
+
+    def _schedule(self, coroutines: List[Tuple[CPE, Generator]]) -> None:
+        runnable: List[Tuple[CPE, Generator]] = list(coroutines)
+        blocked: List[Tuple[CPE, Generator]] = []
+        while runnable or blocked:
+            if not runnable:
+                # Everyone is blocked: one re-poll round must progress.
+                before = self._progress
+                next_runnable: List[Tuple[CPE, Generator]] = []
+                still_blocked: List[Tuple[CPE, Generator]] = []
+                for cpe, gen in blocked:
+                    status = self._resume(cpe, gen)
+                    if status == "dead":
+                        continue
+                    target = still_blocked if status == "blocked" else next_runnable
+                    target.append((cpe, gen))
+                if not next_runnable and still_blocked and self._progress == before:
+                    reasons = "; ".join(
+                        f"CPE({r},{c}): {why}"
+                        for (r, c), why in sorted(self._blocked.items())
+                    )
+                    raise ExecutionError(
+                        f"deadlock: {len(still_blocked)} CPEs blocked with "
+                        f"no progress — {reasons or 'no reasons recorded'}"
+                    )
+                runnable, blocked = next_runnable, still_blocked
+                continue
+            # Resume the runnable CPE with the smallest virtual clock.
+            idx = min(range(len(runnable)), key=lambda n: runnable[n][0].clock)
+            cpe, gen = runnable.pop(idx)
+            before = self._progress
+            status = self._resume(cpe, gen)
+            if status == "blocked":
+                blocked.append((cpe, gen))
+            elif status != "dead":
+                runnable.append((cpe, gen))
+            if self._progress != before and blocked:
+                # Progress may have satisfied someone's wait: re-arm them.
+                runnable.extend(blocked)
+                blocked = []
+
+    def _resume(self, cpe: CPE, gen: Generator) -> str:
+        try:
+            return next(gen) or "step"
+        except StopIteration:
+            self._progress += 1
+            return "dead"
+
+    # ------------------------------------------------------------------
+    # Statement interpretation
+    # ------------------------------------------------------------------
+
+    def _exec_stmt(self, cpe: CPE, stmt: Stmt, env: Dict[str, object]):
+        if isinstance(stmt, Block):
+            for s in stmt.body:
+                yield from self._exec_stmt(cpe, s, env)
+            return
+        if isinstance(stmt, ForLoop):
+            lo = self._eval_int(stmt.lo, env)
+            hi = self._eval_int(stmt.hi, env)
+            for value in range(lo, hi, stmt.step):
+                env[stmt.var] = value
+                yield from self._exec_stmt(cpe, stmt.body, env)
+            env.pop(stmt.var, None)
+            return
+        if isinstance(stmt, IfStmt):
+            if self._eval_scalar(stmt.cond, env, cpe):
+                yield from self._exec_stmt(cpe, stmt.then, env)
+            elif stmt.els is not None:
+                yield from self._exec_stmt(cpe, stmt.els, env)
+            return
+        if isinstance(stmt, CommStmt):
+            yield from self._exec_comm(cpe, stmt, env)
+            return
+        if isinstance(stmt, KernelCall):
+            self._exec_kernel(cpe, stmt, env)
+            yield "step"
+            return
+        if isinstance(stmt, BlockOpStmt):
+            self._exec_blockop(cpe, stmt, env)
+            yield "step"
+            return
+        if isinstance(stmt, NaiveComputeStmt):
+            self._exec_naive(cpe, stmt, env)
+            yield "step"
+            return
+        if isinstance(stmt, CommentStmt):
+            return
+        raise ExecutionError(f"cannot interpret statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # Communication statements (the §7.1 extension node type)
+    # ------------------------------------------------------------------
+
+    def _reply_key(self, args: Mapping[str, object], env, slot_key: str = "reply_slot") -> str:
+        slot = self._eval_int(args[slot_key], env)
+        base = args["reply"] if "reply" in args else None
+        return f"{base}#{slot}"
+
+    def _exec_comm(self, cpe: CPE, stmt: CommStmt, env: Dict[str, object]):
+        kind = stmt.kind
+        args = stmt.args
+        rt = self.runtime
+        if kind == "reply_reset":
+            rt.reply_reset(cpe, self._reply_key(args, env))
+            self._progress += 1
+            return
+        if kind in ("dma_iget", "dma_iput"):
+            self._issue_dma(cpe, kind, args, env)
+            self._progress += 1
+            yield "step"  # channel occupancy depends on virtual-time order
+            return
+        if kind in ("dma_wait_value", "rma_wait_value"):
+            key = self._reply_key(args, env)
+            value = int(args.get("value", 1))
+            while not rt.reply_satisfied(cpe, key, value):
+                self._blocked[(cpe.rid, cpe.cid)] = f"{kind} {key} >= {value}"
+                yield "blocked"
+            self._blocked.pop((cpe.rid, cpe.cid), None)
+            rt.finish_wait(cpe, key, value)
+            self._progress += 1
+            yield "step"
+            return
+        if kind in ("rma_row_ibcast", "rma_col_ibcast"):
+            slot_s = self._eval_int(args["src_slot"], env)
+            slot_d = self._eval_int(args["dst_slot"], env)
+            reply_slot = self._eval_int(args["reply_slot"], env)
+            replys = f"{args['replys']}#{reply_slot}"
+            replyr = f"{args['replyr']}#{reply_slot}"
+            issue = rt.rma_row_ibcast if kind == "rma_row_ibcast" else rt.rma_col_ibcast
+            issue(
+                cpe,
+                (str(args["src_buffer"]), slot_s),
+                (str(args["dst_buffer"]), slot_d),
+                int(args["size"]),
+                replys,
+                replyr,
+            )
+            self._progress += 1
+            yield "step"
+            return
+        if kind == "synch":
+            token = rt.barrier_arrive(cpe)
+            while not rt.barrier_passed(token):
+                self._blocked[(cpe.rid, cpe.cid)] = "synch"
+                yield "blocked"
+            self._blocked.pop((cpe.rid, cpe.cid), None)
+            self._progress += 1
+            yield "step"
+            return
+        raise ExecutionError(f"unknown communication statement {kind!r}")
+
+    def _issue_dma(self, cpe: CPE, kind: str, args: Mapping[str, object], env) -> None:
+        array_name = str(args["array"])
+        array = self.runtime.main_array(array_name)
+        ld = int(array.shape[-1])
+        row = self._eval_int(args["row"], env)
+        col = self._eval_int(args["col"], env)
+        if args.get("batch") is not None:
+            batch_idx = self._eval_int(args["batch"], env)
+            offset = (batch_idx * array.shape[-2] + row) * ld + col
+        else:
+            offset = row * ld + col
+        length = int(args["len"])
+        size = int(args["size"])
+        strip = ld - length
+        slot = self._eval_int(args["slot"], env)
+        buffer = str(args["buffer"])
+        reply = self._reply_key(args, env)
+        if kind == "dma_iget":
+            self.runtime.dma_iget(
+                cpe, (buffer, slot), array_name, offset, size, length, strip, reply
+            )
+        else:
+            self.runtime.dma_iput(
+                cpe, array_name, offset, (buffer, slot), size, length, strip, reply
+            )
+
+    # ------------------------------------------------------------------
+    # Compute statements
+    # ------------------------------------------------------------------
+
+    def _slot_view(self, cpe: CPE, ref: ArrayRef, env) -> Tuple[np.ndarray, int]:
+        slot = self._eval_int(ref.indices[0], env)
+        cpe.spm.check_readable(ref.array, slot)
+        return cpe.spm.slot(ref.array, slot), slot
+
+    def _exec_kernel(self, cpe: CPE, stmt: KernelCall, env) -> None:
+        c_view, _ = self._slot_view(cpe, stmt.c_ref, env)
+        a_view, _ = self._slot_view(cpe, stmt.a_ref, env)
+        b_view, _ = self._slot_view(cpe, stmt.b_ref, env)
+        alpha = float(self._eval_scalar(stmt.alpha, env, cpe))
+        if self.move_data:
+            # Transposed entry points read the SPM tiles in their storage
+            # layouts (kt×mt / nt×kt); the zero-copy transpose restores
+            # the kernel's canonical contract shapes.
+            a_eff = a_view.T if stmt.trans_a else a_view
+            b_eff = b_view.T if stmt.trans_b else b_view
+            self.kernel.execute(c_view, a_eff, b_eff, alpha)
+        self.runtime.charge_compute(
+            cpe, self.kernel.seconds_per_call * self._kernel_time_factor
+        )
+        cpe.stats["kernel_calls"] += 1
+        self._progress += 1
+
+    def _exec_blockop(self, cpe: CPE, stmt: BlockOpStmt, env) -> None:
+        view, _ = self._slot_view(cpe, stmt.dst, env)
+        elements = stmt.shape[0] * stmt.shape[1]
+        if stmt.op == "scale":
+            factor = float(self._eval_scalar(stmt.factor, env, cpe))
+            if self.move_data:
+                view *= factor
+            rate = self.program.arch.cpe_elementwise_rate
+        elif stmt.op == "apply":
+            func = get_elementwise(stmt.func)
+            if self.move_data:
+                view[...] = func.numpy_fn(view)
+            rate = func.cpe_rate
+        else:
+            raise ExecutionError(f"unknown block op {stmt.op!r}")
+        self.runtime.charge_compute(cpe, elements / rate, kind="blockop")
+        self._progress += 1
+
+    def _exec_naive(self, cpe: CPE, stmt: NaiveComputeStmt, env) -> None:
+        seconds = self.program.arch.naive_time_s(*stmt.extents)
+        seconds *= self._kernel_time_factor
+        if self.move_data:
+            if self.scalar_naive:
+                self._exec_naive_scalar(cpe, stmt, env)
+            else:
+                self._exec_naive_vectorised(cpe, stmt, env)
+        self.runtime.charge_compute(cpe, seconds)
+        cpe.stats["kernel_calls"] += 1
+        self._progress += 1
+
+    def _exec_naive_scalar(self, cpe: CPE, stmt: NaiveComputeStmt, env) -> None:
+        extents = stmt.extents
+        local = dict(env)
+        for i0 in range(extents[0]):
+            local[stmt.loop_vars[0]] = i0
+            for i1 in range(extents[1]):
+                local[stmt.loop_vars[1]] = i1
+                for i2 in range(extents[2]):
+                    local[stmt.loop_vars[2]] = i2
+                    value = self._eval_scalar(stmt.value, local, cpe)
+                    self._store_scalar(cpe, stmt.target, local, value, accumulate=True)
+
+    def _exec_naive_vectorised(self, cpe: CPE, stmt: NaiveComputeStmt, env) -> None:
+        """Fast path: the --no-use-asm body is always the canonical GEMM
+        update, so the whole point-loop box evaluates as one matmul."""
+        alpha_expr, a_ref, b_ref = _match_gemm_value(stmt.value)
+        c_view, _ = self._slot_view(cpe, _slot_only(stmt.target), env)
+        a_view, _ = self._slot_view(cpe, _slot_only(a_ref), env)
+        b_view, _ = self._slot_view(cpe, _slot_only(b_ref), env)
+        alpha = float(self._eval_scalar(alpha_expr, env, cpe))
+        a_eff = a_view.T if stmt.trans_a else a_view
+        b_eff = b_view.T if stmt.trans_b else b_view
+        c_view += alpha * (a_eff @ b_eff)
+
+    def _store_scalar(
+        self, cpe: CPE, ref: ArrayRef, env, value: float, accumulate: bool
+    ) -> None:
+        view, _ = self._slot_view(cpe, _slot_only(ref), env)
+        idx = tuple(self._eval_int(e, env) for e in ref.indices[1:])
+        if accumulate:
+            view[idx] += value
+        else:
+            view[idx] = value
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+
+    def _eval_int(self, expr, env) -> int:
+        value = self._eval_scalar(expr, env, None)
+        if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+            raise ExecutionError(f"expected integer, got {value!r}")
+        return int(value)
+
+    def _eval_scalar(self, expr, env, cpe: Optional[CPE]):
+        if isinstance(expr, (IntLit,)):
+            return expr.value
+        if isinstance(expr, VarRef):
+            return expr.evaluate(env)
+        if isinstance(expr, AffRef):
+            return expr.evaluate(env)
+        if isinstance(expr, BinExpr):
+            a = self._eval_scalar(expr.lhs, env, cpe)
+            b = self._eval_scalar(expr.rhs, env, cpe)
+            return BinExpr(expr.op, _Const(a), _Const(b)).evaluate({})
+        if isinstance(expr, ArrayRef):
+            if cpe is None:
+                raise ExecutionError("array reference outside CPE context")
+            view, _ = self._slot_view(cpe, _slot_only(expr), env)
+            idx = tuple(self._eval_int(e, env) for e in expr.indices[1:])
+            return float(view[idx])
+        if hasattr(expr, "evaluate"):
+            return expr.evaluate(env)
+        if isinstance(expr, (int, float)):
+            return expr
+        raise ExecutionError(f"cannot evaluate expression {expr!r}")
+
+
+@dataclass(frozen=True)
+class _Const(Expr):
+    value: object
+
+    def evaluate(self, env):
+        return self.value
+
+
+def _slot_only(ref: ArrayRef) -> ArrayRef:
+    """A view of the same buffer keeping only the slot index."""
+    return ArrayRef(ref.array, (ref.indices[0],), ref.memory)
+
+
+def _match_gemm_value(value) -> Tuple[object, ArrayRef, ArrayRef]:
+    if (
+        isinstance(value, BinExpr)
+        and value.op == "*"
+        and isinstance(value.rhs, ArrayRef)
+        and isinstance(value.lhs, BinExpr)
+        and value.lhs.op == "*"
+        and isinstance(value.lhs.rhs, ArrayRef)
+    ):
+        return value.lhs.lhs, value.lhs.rhs, value.rhs
+    raise ExecutionError(
+        "naive compute statement does not match the canonical GEMM form"
+    )
+
+
+# ---------------------------------------------------------------------------
+# High-level entry point with zero padding (§8.1)
+# ---------------------------------------------------------------------------
+
+
+def run_gemm(
+    program: CompiledProgram,
+    A: np.ndarray,
+    B: np.ndarray,
+    C: Optional[np.ndarray] = None,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    move_data: bool = True,
+    scalar_naive: bool = False,
+) -> Tuple[np.ndarray, ExecutionReport]:
+    """Run a compiled program on host arrays, zero-padding to the mesh
+    chunk multiples exactly as §8.1 prescribes.
+
+    Accepts 2-D arrays (plain GEMM) or 3-D arrays (batched, leading batch
+    dimension).  Returns ``(C, report)`` where ``C`` has the caller's
+    shape.
+    """
+    spec = program.spec
+    batched = spec.is_batched
+    if batched:
+        if A.ndim != 3 or B.ndim != 3:
+            raise ExecutionError("batched program expects 3-D A and B")
+        bs = A.shape[0]
+        bs2 = B.shape[0]
+        a_core, b_core = A.shape[1:], B.shape[1:]
+    else:
+        if A.ndim != 2 or B.ndim != 2:
+            raise ExecutionError("non-batched program expects 2-D A and B")
+        a_core, b_core = A.shape, B.shape
+        bs = bs2 = 1
+    # Interpret the storage shapes through the transpose flags.
+    M, K = (a_core[1], a_core[0]) if spec.trans_a else a_core
+    N = (b_core[0] if spec.trans_b else b_core[1])
+    K2 = b_core[1] if spec.trans_b else b_core[0]
+    if K != K2 or bs != bs2:
+        raise ExecutionError(f"shape mismatch: A {A.shape} vs B {B.shape}")
+    if C is None:
+        C = np.zeros(((bs, M, N) if batched else (M, N)))
+    elif C.shape != ((bs, M, N) if batched else (M, N)):
+        raise ExecutionError(f"C has shape {C.shape}, expected {(M, N)}")
+
+    Mp, Np, Kp = program.padded_shape(M, N, K)
+    cluster = cluster or Cluster(program.arch)
+
+    np_dtype = np.float64 if spec.dtype == "float64" else np.float32
+
+    def padded(name: str, array: np.ndarray, rows: int, cols: int) -> np.ndarray:
+        shape = (bs, rows, cols) if batched else (rows, cols)
+        target = cluster.memory.alloc(name, shape, dtype=np_dtype)
+        target[..., : array.shape[-2], : array.shape[-1]] = array
+        return target
+
+    a_pad = (Kp, Mp) if spec.trans_a else (Mp, Kp)
+    b_pad = (Np, Kp) if spec.trans_b else (Kp, Np)
+    padded(spec.a_name, A, *a_pad)
+    padded(spec.b_name, B, *b_pad)
+    c_main = padded(spec.c_name, C, Mp, Np)
+
+    executor = Executor(program, cluster, move_data=move_data, scalar_naive=scalar_naive)
+    params = {spec.m_param: Mp, spec.n_param: Np, spec.k_param: Kp}
+    if batched:
+        params[spec.batch_param] = bs
+    report = executor.run(params, alpha=alpha, beta=beta)
+    report.useful_flops = spec.flops(M, N, K, bs)
+    report.padded_flops = spec.flops(Mp, Np, Kp, bs)
+
+    result = c_main[..., :M, :N].copy()
+    if batched:
+        C[...] = result
+    else:
+        C[...] = result
+    for name in (spec.a_name, spec.b_name, spec.c_name):
+        cluster.memory.free(name)
+    return C, report

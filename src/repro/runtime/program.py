@@ -1,0 +1,85 @@
+"""The compiled program container.
+
+Holds everything the back ends need: the final schedule tree (kept for
+inspection and golden tests — its dump is the reproduction of Figs. 9/11),
+the CPE AST with its SPM buffer plan, the problem/option/architecture
+metadata, and the measured code-generation time (the paper's §8.5
+engineering-cost claim is about exactly this number)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.decomposition import Decomposition
+from repro.core.options import CompilerOptions
+from repro.core.spec import GemmSpec
+from repro.core.tile_model import TilePlan
+from repro.poly.astnodes import BufferDecl, CpeProgram, ReplyDecl
+from repro.poly.schedule_tree import DomainNode
+from repro.sunway.arch import ArchSpec
+
+
+@dataclass
+class CompiledProgram:
+    """Output of :class:`repro.core.pipeline.GemmCompiler.compile`."""
+
+    spec: GemmSpec
+    options: CompilerOptions
+    arch: ArchSpec
+    plan: TilePlan
+    decomposition: Decomposition
+    cpe_program: CpeProgram
+    codegen_seconds: float = 0.0
+
+    @property
+    def tree(self) -> DomainNode:
+        return self.decomposition.root
+
+    def tree_dump(self) -> str:
+        return self.tree.dump()
+
+    def spm_bytes(self) -> int:
+        return self.cpe_program.spm_bytes()
+
+    # -- shape utilities --------------------------------------------------
+
+    def padded_shape(self, M: int, N: int, K: int) -> Tuple[int, int, int]:
+        """The zero-padded shape the mesh actually executes (§8.1: M and N
+        must be multiples of 512 and K of 256 on the default target)."""
+        plan = self.plan
+
+        def up(value: int, multiple: int) -> int:
+            return -(-value // multiple) * multiple
+
+        return (
+            up(M, plan.chunk_m),
+            up(N, plan.chunk_n),
+            up(K, plan.k_step),
+        )
+
+    def requires_padding(self, M: int, N: int, K: int) -> bool:
+        return self.padded_shape(M, N, K) != (M, N, K)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "variant": self.options.variant_name(),
+            "fusion": self.options.fusion,
+            "batched": self.spec.is_batched,
+            "tile_plan": self.plan.describe(),
+            "arch": self.arch.describe(),
+            "spm_bytes": self.spm_bytes(),
+            "codegen_seconds": round(self.codegen_seconds, 6),
+        }
+
+    # -- source rendering ----------------------------------------------------
+
+    def cpe_source(self) -> str:
+        from repro.codegen.printer import print_cpe_program
+
+        return print_cpe_program(self)
+
+    def mpe_source(self) -> str:
+        from repro.codegen.printer import print_mpe_program
+
+        return print_mpe_program(self)

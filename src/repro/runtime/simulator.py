@@ -1,0 +1,181 @@
+"""Timed performance evaluation.
+
+The paper reports Gflops for shapes up to 15360³; interpreting every
+statement of such a run would take hours in Python, but the generated
+schedule makes a *chunk decomposition* exact: the mesh processes
+``(M/512)·(N/512)`` identical 512×512×K blocks strictly sequentially (the
+C tile's get/put is never overlapped across chunks — §6.1 notes C's
+latency cannot be hidden).  The simulator therefore:
+
+1. runs the real coroutine interpreter (timing-only, no data movement)
+   on **one chunk** — 512×512×K with the full pipeline, barriers, channel
+   contention and edge effects;
+2. multiplies by the number of chunks and adds the one-off spawn cost.
+
+Chunk times are cached per ``(arch, options, K, fusion, batch)`` so shape
+sweeps that share a K value (most of Fig. 13/14) cost one simulation.
+
+Batched GEMM composes the same way: our compiler starts the mesh once and
+iterates the batch inside the CPE code (§8.3), so
+
+    total = spawn + batch · chunks(M,N) · chunk_time(K).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.core.options import CompilerOptions
+from repro.core.pipeline import GemmCompiler
+from repro.core.spec import GemmSpec
+from repro.runtime.executor import Executor
+from repro.runtime.program import CompiledProgram
+from repro.sunway.arch import SW26010PRO, ArchSpec
+from repro.sunway.mesh import Cluster
+
+
+@dataclass(frozen=True)
+class PerfResult:
+    """One simulated measurement."""
+
+    M: int
+    N: int
+    K: int
+    batch: int
+    variant: str
+    seconds: float
+    gflops: float
+    peak_fraction: float
+    n_chunks: int
+    chunk_seconds: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        shape = f"{self.M}x{self.N}x{self.K}"
+        if self.batch > 1:
+            shape = f"b{self.batch}:{shape}"
+        return f"{shape} [{self.variant}] {self.gflops:.2f} Gflops " \
+               f"({100 * self.peak_fraction:.2f}% peak)"
+
+
+class PerformanceSimulator:
+    """Chunk-extrapolating timed simulation."""
+
+    def __init__(self, arch: ArchSpec = SW26010PRO) -> None:
+        self.arch = arch
+        self._programs: Dict[Tuple, CompiledProgram] = {}
+        self._chunk_cache: Dict[Tuple, float] = {}
+
+    # -- compilation cache ---------------------------------------------------
+
+    def program_for(
+        self, options: CompilerOptions, spec: Optional[GemmSpec] = None
+    ) -> CompiledProgram:
+        spec = spec or self._default_spec(options)
+        key = (options, spec)
+        if key not in self._programs:
+            self._programs[key] = GemmCompiler(self.arch, options).compile(spec)
+        return self._programs[key]
+
+    def _default_spec(self, options: CompilerOptions) -> GemmSpec:
+        kwargs: Dict[str, object] = {}
+        if options.batch:
+            kwargs["batch_param"] = "BS"
+        if options.fusion == "prologue":
+            kwargs["prologue_func"] = options.prologue_func
+        elif options.fusion == "epilogue":
+            kwargs["epilogue_func"] = options.epilogue_func
+        return GemmSpec(**kwargs)
+
+    # -- chunk measurement -----------------------------------------------------
+
+    def chunk_seconds(
+        self, K: int, options: CompilerOptions, spec: Optional[GemmSpec] = None
+    ) -> float:
+        """Timed simulation of one 512×512×K mesh pass, spawn excluded."""
+        spec = spec or self._default_spec(options)
+        key = (options, spec, K)
+        if key in self._chunk_cache:
+            return self._chunk_cache[key]
+        program = self.program_for(options, spec)
+        plan = program.plan
+        if K % plan.k_step:
+            raise ConfigurationError(
+                f"K={K} is not a multiple of the k step {plan.k_step}"
+            )
+        cluster = Cluster(self.arch)
+        cm, cn = plan.chunk_m, plan.chunk_n
+        batched = spec.is_batched
+        a_shape = (1, cm, K) if batched else (cm, K)
+        b_shape = (1, K, cn) if batched else (K, cn)
+        c_shape = (1, cm, cn) if batched else (cm, cn)
+        cluster.memory.alloc(spec.a_name, a_shape)
+        cluster.memory.alloc(spec.b_name, b_shape)
+        cluster.memory.alloc(spec.c_name, c_shape)
+        executor = Executor(program, cluster, move_data=False)
+        params = {spec.m_param: cm, spec.n_param: cn, spec.k_param: K}
+        if batched:
+            params[spec.batch_param] = 1
+        report = executor.run(params)
+        chunk = report.elapsed_seconds - self.arch.spawn_us * 1e-6
+        self._chunk_cache[key] = chunk
+        return chunk
+
+    # -- the headline API ----------------------------------------------------------
+
+    def simulate(
+        self,
+        M: int,
+        N: int,
+        K: int,
+        options: Optional[CompilerOptions] = None,
+        batch: int = 1,
+    ) -> PerfResult:
+        """Simulated Gflops for one shape under one compiler variant."""
+        options = options or CompilerOptions.full()
+        if batch > 1 and not options.batch:
+            options = options.with_(batch=True)
+        spec = self._default_spec(options)
+        program = self.program_for(options, spec)
+        plan = program.plan
+        for value, step, name in (
+            (M, plan.chunk_m, "M"),
+            (N, plan.chunk_n, "N"),
+            (K, plan.k_step, "K"),
+        ):
+            if value % step:
+                raise ConfigurationError(
+                    f"{name}={value} is not a multiple of {step}; the paper "
+                    "zero-pads such shapes (§8.1) — pad before simulating"
+                )
+        chunk = self.chunk_seconds(K, options, spec)
+        n_chunks = (M // plan.chunk_m) * (N // plan.chunk_n)
+        seconds = self.arch.spawn_us * 1e-6 + batch * n_chunks * chunk
+        flops = 2.0 * M * N * K * batch
+        gflops = flops / seconds / 1e9
+        return PerfResult(
+            M=M,
+            N=N,
+            K=K,
+            batch=batch,
+            variant=options.variant_name()
+            + (f"+{options.fusion}" if options.fusion != "none" else ""),
+            seconds=seconds,
+            gflops=gflops,
+            peak_fraction=gflops / self.arch.peak_gflops,
+            n_chunks=n_chunks,
+            chunk_seconds=chunk,
+        )
+
+    def breakdown(self, M: int, N: int, K: int) -> Dict[str, PerfResult]:
+        """The four §8.1 variants for one shape (Fig. 13's bar groups)."""
+        return {
+            name: self.simulate(M, N, K, options)
+            for name, options in (
+                ("dma-only", CompilerOptions.baseline()),
+                ("+asm", CompilerOptions.with_asm()),
+                ("+rma", CompilerOptions.with_rma()),
+                ("+hiding", CompilerOptions.full()),
+            )
+        }

@@ -1,0 +1,162 @@
+"""The DMA engine: ``dma_iget`` / ``dma_iput`` (§4).
+
+Semantics follow the athread interface the paper documents::
+
+    dma_iget(dst, src, size, len, strip, &reply)
+    dma_iput(dst, src, size, len, strip, &reply)
+
+``size`` elements move in runs of ``len`` contiguous elements; after each
+run the main-memory side skips ``strip`` elements (the distance from the
+end of one run to the start of the next — for a ``X_τ×Y_τ`` tile of an
+``X×Y`` matrix, ``len = Y_τ`` and ``strip = Y − Y_τ``, exactly Fig. 7).
+The SPM side is always contiguous.
+
+Functionally the engine performs the strided copy with NumPy fancy
+indexing and validates every argument (a malformed ``strip`` raises
+:class:`InvalidDMAError`, which several tests rely on).  For timing, the
+mesh shares one memory channel: a message occupies the channel for
+``startup + bytes/bandwidth`` seconds starting no earlier than both its
+issue time and the channel becoming free — so 64 concurrent tile fetches
+contend exactly as they would on the shared DDR4 controller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidDMAError
+from repro.sunway.arch import ArchSpec
+from repro.sunway.cpe import CPE, ReplyRecord
+
+_DTYPE_BYTES = 8  # DGEMM: double precision throughout
+
+
+class DMAEngine:
+    """Shared main-memory DMA channel of one core group."""
+
+    def __init__(self, arch: ArchSpec) -> None:
+        self.arch = arch
+        self.channel_free: float = 0.0
+        #: optional TraceRecorder attached by the cluster
+        self.trace = None
+
+    def reset(self) -> None:
+        self.channel_free = 0.0
+
+    # -- helpers ----------------------------------------------------------
+
+    def _validate(
+        self,
+        src_elems: int,
+        offset: int,
+        size: int,
+        length: int,
+        strip: int,
+        spm_elems: int,
+    ) -> int:
+        if size <= 0 or length <= 0:
+            raise InvalidDMAError(f"size/len must be positive (size={size}, len={length})")
+        if strip < 0:
+            raise InvalidDMAError(f"strip must be non-negative, got {strip}")
+        if size % length != 0:
+            raise InvalidDMAError(f"size {size} is not a multiple of len {length}")
+        if size > spm_elems:
+            raise InvalidDMAError(
+                f"transfer of {size} elements exceeds SPM tile of {spm_elems}"
+            )
+        rows = size // length
+        last = offset + (rows - 1) * (length + strip) + length
+        if offset < 0 or last > src_elems:
+            raise InvalidDMAError(
+                f"main-memory access out of bounds: offset {offset}, "
+                f"{rows} runs of {length}+{strip}, array has {src_elems} elements"
+            )
+        return rows
+
+    def _occupy_channel(
+        self, issue_time: float, nbytes: int, run_bytes: int = 0
+    ) -> float:
+        start = max(issue_time, self.channel_free)
+        completion = start + self.arch.dma_time_s(nbytes, run_bytes)
+        self.channel_free = completion
+        if self.trace is not None:
+            self.trace.record("dma", start, completion, "channel")
+        return completion
+
+    def _gather_indices(
+        self, offset: int, rows: int, length: int, strip: int
+    ) -> np.ndarray:
+        starts = offset + np.arange(rows) * (length + strip)
+        return (starts[:, None] + np.arange(length)[None, :]).ravel()
+
+    # -- the two interfaces ----------------------------------------------------
+
+    def iget(
+        self,
+        cpe: CPE,
+        dst: Optional[np.ndarray],
+        dst_key: Tuple[str, int],
+        src: Optional[np.ndarray],
+        src_elems: int,
+        offset: int,
+        size: int,
+        length: int,
+        strip: int,
+        reply_name: str,
+        move_data: bool = True,
+        elem_bytes: int = _DTYPE_BYTES,
+    ) -> float:
+        """Main memory → SPM.  Returns the modelled completion time."""
+        spm_elems = dst.size if dst is not None else size
+        rows = self._validate(src_elems, offset, size, length, strip, spm_elems)
+        if move_data:
+            if src is None or dst is None:
+                raise InvalidDMAError("move_data requires both arrays")
+            flat = src.reshape(-1)
+            idx = self._gather_indices(offset, rows, length, strip)
+            dst.reshape(-1)[:size] = flat[idx]
+        nbytes = size * elem_bytes
+        completion = self._occupy_channel(cpe.clock, nbytes, length * elem_bytes)
+        cpe.spm.mark_inflight(dst_key[0], dst_key[1], f"dma_iget/{reply_name}")
+        cpe.reply(reply_name).add(ReplyRecord(completion, dst_key))
+        cpe.stats["dma_messages"] += 1
+        cpe.stats["dma_bytes"] += nbytes
+        return completion
+
+    def iput(
+        self,
+        cpe: CPE,
+        dst: Optional[np.ndarray],
+        dst_elems: int,
+        offset: int,
+        src: Optional[np.ndarray],
+        src_key: Tuple[str, int],
+        size: int,
+        length: int,
+        strip: int,
+        reply_name: str,
+        move_data: bool = True,
+        elem_bytes: int = _DTYPE_BYTES,
+    ) -> float:
+        """SPM → main memory.  Returns the modelled completion time."""
+        # The tile being written out must itself be ready (e.g. the getC
+        # that filled local_C must have been waited on).
+        cpe.spm.check_readable(src_key[0], src_key[1])
+        spm_elems = src.size if src is not None else size
+        rows = self._validate(dst_elems, offset, size, length, strip, spm_elems)
+        if move_data:
+            if src is None or dst is None:
+                raise InvalidDMAError("move_data requires both arrays")
+            flat = dst.reshape(-1)
+            idx = self._gather_indices(offset, rows, length, strip)
+            flat[idx] = src.reshape(-1)[:size]
+        nbytes = size * elem_bytes
+        completion = self._occupy_channel(cpe.clock, nbytes, length * elem_bytes)
+        # The SPM source must not be overwritten until the put completed.
+        cpe.spm.mark_inflight(src_key[0], src_key[1], f"dma_iput/{reply_name}")
+        cpe.reply(reply_name).add(ReplyRecord(completion, src_key))
+        cpe.stats["dma_messages"] += 1
+        cpe.stats["dma_bytes"] += nbytes
+        return completion

@@ -1,0 +1,46 @@
+"""The management processing element (MPE).
+
+The MPE runs the main function: it allocates matrices, spawns the CPE
+kernel and joins it (§2.1).  It *can* execute compute, but inefficiently —
+the paper's fusion baselines run the prologue/epilogue element-wise
+operations on the MPE, which is exactly what makes them slow (§8.4).  The
+MPE therefore exposes a modelled element-wise execution primitive used by
+the xMath-based baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sunway.arch import ArchSpec
+
+
+class MPE:
+    """Management processing element with a two-level cache (modelled only
+    through its scalar element-wise rate)."""
+
+    def __init__(self, arch: ArchSpec) -> None:
+        self.arch = arch
+        self.clock = 0.0
+
+    def reset(self) -> None:
+        self.clock = 0.0
+
+    def elementwise(
+        self,
+        array: np.ndarray,
+        func: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> float:
+        """Apply ``func`` element-wise on the MPE; returns modelled seconds.
+
+        The data transformation itself is vectorised (this is a simulator)
+        but the *time* charged corresponds to scalar MPE execution with
+        cache-hierarchy traffic, per the architecture's calibrated rate.
+        """
+        if func is not None:
+            array[...] = func(array)
+        seconds = array.size / self.arch.mpe_elementwise_rate
+        self.clock += seconds
+        return seconds

@@ -1,0 +1,225 @@
+"""The RMA engine: SPM-to-SPM communication inside the CPE mesh (§5).
+
+SW26010Pro offers three manners (Fig. 8): point-to-point, row/column-wise
+broadcast, and all-broadcast (internally a row+column combination).  The
+compiler uses the row broadcast for ``A_τ`` and the column broadcast for
+``B_τ`` so each input tile is fetched from main memory exactly once per
+mesh row/column — the 8× DMA-traffic reduction responsible for the 4.38×
+step in the paper's performance breakdown (§8.1).
+
+Interface semantics follow the athread model::
+
+    rma_row_ibcast(dst, src, size, &replys, &replyr)
+    rma_col_ibcast(dst, src, size, &replys, &replyr)
+
+``replys`` increments on the *sender* when the message is out; ``replyr``
+increments on every *receiver* (the sender receives its own broadcast too,
+so uniform SPMD code can wait for ``replyr >= 1`` everywhere).  The engine
+enforces the §5 rule that a ``synch()`` must precede each launch group —
+issuing from a CPE whose ``rma_armed`` flag is unset raises
+:class:`SynchronizationError`.
+
+Timing: each mesh row and each mesh column owns an independent broadcast
+channel (so the simultaneous A-row and B-column broadcasts of §6.1 do not
+contend), and a broadcast is a pipelined multicast occupying its channel
+for ``startup + bytes/bandwidth`` seconds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidRMAError, SynchronizationError
+from repro.sunway.arch import ArchSpec
+from repro.sunway.cpe import CPE, ReplyRecord
+
+_DTYPE_BYTES = 8
+
+
+class RMAEngine:
+    """Row/column broadcast fabric of one CPE mesh."""
+
+    def __init__(self, arch: ArchSpec, mesh: List[List[CPE]]) -> None:
+        self.arch = arch
+        self.mesh = mesh
+        self.row_channel_free = [0.0] * arch.mesh_rows
+        self.col_channel_free = [0.0] * arch.mesh_cols
+        #: optional TraceRecorder attached by the cluster
+        self.trace = None
+
+    def reset(self) -> None:
+        self.row_channel_free = [0.0] * self.arch.mesh_rows
+        self.col_channel_free = [0.0] * self.arch.mesh_cols
+
+    # -- common ---------------------------------------------------------
+
+    def _check_armed(self, sender: CPE) -> None:
+        if not self.arch.rma_supported:
+            raise InvalidRMAError(
+                f"{self.arch.name} does not support SPM RMA; the compiler "
+                "should not have emitted an RMA statement for this target"
+            )
+        if not sender.rma_armed:
+            raise SynchronizationError(
+                f"{sender!r} issued an RMA without a preceding synch() — "
+                "the athread programming model requires a synchronisation "
+                "before each RMA launch (§5)"
+            )
+
+    def _deliver(
+        self,
+        sender: CPE,
+        receivers: List[CPE],
+        src_key: Tuple[str, int],
+        dst_key: Tuple[str, int],
+        size: int,
+        replys: str,
+        replyr: str,
+        completion: float,
+        move_data: bool,
+    ) -> None:
+        sender.spm.check_readable(src_key[0], src_key[1])
+        src_tile = sender.spm.slot(src_key[0], src_key[1])
+        if size <= 0 or size > src_tile.size:
+            raise InvalidRMAError(
+                f"RMA size {size} outside source tile of {src_tile.size} elements"
+            )
+        nbytes = size * _DTYPE_BYTES
+        for receiver in receivers:
+            dst_tile = receiver.spm.slot(dst_key[0], dst_key[1])
+            if size > dst_tile.size:
+                raise InvalidRMAError(
+                    f"RMA size {size} exceeds destination tile of {dst_tile.size}"
+                )
+            if move_data:
+                dst_flat = dst_tile.reshape(-1)
+                dst_flat[:size] = src_tile.reshape(-1)[:size]
+            receiver.spm.mark_inflight(dst_key[0], dst_key[1], f"rma/{replyr}")
+            receiver.reply(replyr).add(ReplyRecord(completion, dst_key))
+        sender.reply(replys).add(ReplyRecord(completion, None))
+        sender.stats["rma_messages"] += 1
+        sender.stats["rma_bytes"] += nbytes
+
+    # -- the three manners (Fig. 8) ------------------------------------------
+
+    def row_ibcast(
+        self,
+        sender: CPE,
+        src_key: Tuple[str, int],
+        dst_key: Tuple[str, int],
+        size: int,
+        replys: str,
+        replyr: str,
+        move_data: bool = True,
+        elem_bytes: int = _DTYPE_BYTES,
+    ) -> float:
+        """Broadcast the sender's SPM tile to every CPE on its mesh row."""
+        self._check_armed(sender)
+        receivers = list(self.mesh[sender.rid])
+        start = max(sender.clock, self.row_channel_free[sender.rid])
+        completion = start + self.arch.rma_time_s(size * elem_bytes)
+        self.row_channel_free[sender.rid] = completion
+        if self.trace is not None:
+            self.trace.record("rma", start, completion, f"row{sender.rid}")
+        self._deliver(
+            sender, receivers, src_key, dst_key, size, replys, replyr,
+            completion, move_data,
+        )
+        return completion
+
+    def col_ibcast(
+        self,
+        sender: CPE,
+        src_key: Tuple[str, int],
+        dst_key: Tuple[str, int],
+        size: int,
+        replys: str,
+        replyr: str,
+        move_data: bool = True,
+        elem_bytes: int = _DTYPE_BYTES,
+    ) -> float:
+        """Broadcast the sender's SPM tile to every CPE on its mesh column."""
+        self._check_armed(sender)
+        receivers = [row[sender.cid] for row in self.mesh]
+        start = max(sender.clock, self.col_channel_free[sender.cid])
+        completion = start + self.arch.rma_time_s(size * elem_bytes)
+        self.col_channel_free[sender.cid] = completion
+        if self.trace is not None:
+            self.trace.record("rma", start, completion, f"col{sender.cid}")
+        self._deliver(
+            sender, receivers, src_key, dst_key, size, replys, replyr,
+            completion, move_data,
+        )
+        return completion
+
+    def p2p(
+        self,
+        sender: CPE,
+        target: CPE,
+        src_key: Tuple[str, int],
+        dst_key: Tuple[str, int],
+        size: int,
+        replys: str,
+        replyr: str,
+        move_data: bool = True,
+    ) -> float:
+        """Point-to-point RMA (Fig. 8a).
+
+        A same-row transfer uses the row channel directly; otherwise the
+        message transits through the CPE at (sender row, target column),
+        costing a second hop on the column channel — matching the
+        transit-point behaviour the paper describes.
+        """
+        self._check_armed(sender)
+        if target.rid == sender.rid:
+            start = max(sender.clock, self.row_channel_free[sender.rid])
+            completion = start + self.arch.rma_time_s(size * _DTYPE_BYTES)
+            self.row_channel_free[sender.rid] = completion
+        else:
+            start = max(sender.clock, self.row_channel_free[sender.rid])
+            hop1 = start + self.arch.rma_time_s(size * _DTYPE_BYTES)
+            self.row_channel_free[sender.rid] = hop1
+            start2 = max(hop1, self.col_channel_free[target.cid])
+            completion = start2 + self.arch.rma_time_s(size * _DTYPE_BYTES)
+            self.col_channel_free[target.cid] = completion
+        self._deliver(
+            sender, [target], src_key, dst_key, size, replys, replyr,
+            completion, move_data,
+        )
+        return completion
+
+    def all_bcast(
+        self,
+        sender: CPE,
+        src_key: Tuple[str, int],
+        dst_key: Tuple[str, int],
+        size: int,
+        replys: str,
+        replyr: str,
+        move_data: bool = True,
+    ) -> float:
+        """Broadcast to every CPE (Fig. 8c): a row broadcast followed by a
+        column broadcast from each CPE of the sender's row."""
+        self._check_armed(sender)
+        row_done = self.row_ibcast(
+            sender, src_key, dst_key, size, replys, replyr, move_data
+        )
+        completion = row_done
+        for cpe in self.mesh[sender.rid]:
+            # The transit hop re-sends the freshly received tile: it is
+            # available at row_done, so un-poison it and inherit arming.
+            cpe.spm.clear_inflight(dst_key[0], dst_key[1])
+            cpe.rma_armed = True
+        for cpe in list(self.mesh[sender.rid]):
+            start = max(row_done, self.col_channel_free[cpe.cid])
+            done = start + self.arch.rma_time_s(size * _DTYPE_BYTES)
+            self.col_channel_free[cpe.cid] = done
+            completion = max(completion, done)
+            receivers = [row[cpe.cid] for row in self.mesh if row[cpe.cid] is not cpe]
+            self._deliver(
+                cpe, receivers, dst_key, dst_key, size, replys, replyr,
+                done, move_data,
+            )
+        return completion

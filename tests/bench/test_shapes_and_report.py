@@ -1,0 +1,92 @@
+"""Benchmark shape lists and report rendering."""
+
+import pytest
+
+from repro.bench.harness import FigureResult
+from repro.bench.report import PAPER_AGGREGATES, format_aggregates, format_table
+from repro.bench.shapes import (
+    FIG13_SQUARE_SHAPES,
+    FIG14_DEGRADED,
+    FIG14_NONSQUARE_SHAPES,
+    FIG15_BATCHED,
+    FIG15_SHAPES,
+    FIG16_FUSION_SHAPES,
+    validate_shape,
+)
+
+
+def test_fig13_list_properties():
+    assert len(FIG13_SQUARE_SHAPES) == 12
+    assert all(m == n == k for m, n, k in FIG13_SQUARE_SHAPES)
+    assert FIG13_SQUARE_SHAPES[-1] == (15360, 15360, 15360)  # the 90.14% shape
+    # §8.2 names these sizes explicitly.
+    ks = {k for _, _, k in FIG13_SQUARE_SHAPES}
+    assert {6144, 7680, 10240, 15360} <= ks
+
+
+def test_fig14_list_properties():
+    assert len(FIG14_NONSQUARE_SHAPES) == 36
+    assert (4096, 16384, 16384) in FIG14_NONSQUARE_SHAPES  # both peaks
+    assert (8192, 8192, 15360) in FIG14_NONSQUARE_SHAPES  # the 42.25% case
+    assert len(FIG14_DEGRADED) == 9  # "observed for nine times"
+    assert all(k in (10240, 12288, 15360) for _, _, k in FIG14_DEGRADED)
+
+
+def test_fig15_list_properties():
+    assert len(FIG15_SHAPES) == 6
+    assert len(FIG15_BATCHED) == 24  # 4 batch sizes x 6 shapes
+    batches = sorted({b for b, _ in FIG15_BATCHED})
+    assert batches == [2, 4, 8, 16]
+    assert (4096, 4096, 16384) in FIG15_SHAPES  # the 90.43% best point
+
+
+def test_fig16_list_properties():
+    assert len(FIG16_FUSION_SHAPES) == 12
+    assert (10752, 10752, 10752) in FIG16_FUSION_SHAPES
+    assert (8192, 16384, 8192) in FIG16_FUSION_SHAPES
+
+
+def test_all_shapes_satisfy_section81():
+    for shape in (
+        FIG13_SQUARE_SHAPES
+        + FIG14_NONSQUARE_SHAPES
+        + FIG15_SHAPES
+        + FIG16_FUSION_SHAPES
+    ):
+        validate_shape(shape)  # raises on violation
+
+
+def test_validate_shape_rejects_bad():
+    with pytest.raises(AssertionError):
+        validate_shape((511, 512, 256))
+    with pytest.raises(AssertionError):
+        validate_shape((512, 512, 255))
+
+
+# -- report rendering ------------------------------------------------------------
+
+
+def test_format_table():
+    rows = [
+        {"shape": "1024x1024x1024", "ours": 1234.5, "xmath": 1500.0},
+        {"shape": "2048x2048x2048", "ours": 1600.0, "xmath": 1400.2},
+    ]
+    text = format_table(rows, ["shape", "ours", "xmath"])
+    assert "1024x1024x1024" in text
+    assert "1234.5" in text
+    assert text.splitlines()[0].strip().startswith("shape")
+
+
+def test_format_aggregates_shows_paper_reference():
+    result = FigureResult("fig13")
+    result.aggregate = {"mean_dma-only": 84.2, "made_up_metric": 1.0}
+    text = format_aggregates(result)
+    assert "84.890" in text  # the paper value
+    assert "n/a" in text  # the unknown metric has no reference
+
+
+def test_paper_aggregates_complete():
+    for figure in ("fig13", "fig14", "fig15", "fig16"):
+        assert figure in PAPER_AGGREGATES
+        assert PAPER_AGGREGATES[figure]
+    assert PAPER_AGGREGATES["fig13"]["best_peak_fraction"] == pytest.approx(0.9014)

@@ -1,0 +1,56 @@
+"""Golden-file tests: the generated artefacts are locked byte-for-byte.
+
+Any change to the compiler that alters the emitted athread C or the final
+schedule tree shows up as a diff here — review it, then regenerate with::
+
+    python -c "from tests.codegen.test_golden import regenerate; regenerate()"
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import CompilerOptions, GemmCompiler, GemmSpec
+from repro.sunway.arch import SW26010PRO
+
+GOLDEN = Path(__file__).parent.parent / "golden"
+
+
+def _program():
+    return GemmCompiler(SW26010PRO, CompilerOptions.full()).compile(GemmSpec())
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    program = _program()
+    (GOLDEN / "gemm_cpe_full.c").write_text(program.cpe_source())
+    (GOLDEN / "gemm_mpe_full.c").write_text(program.mpe_source())
+    (GOLDEN / "schedule_tree_full.txt").write_text(program.tree_dump() + "\n")
+
+
+@pytest.fixture(scope="module")
+def program():
+    return _program()
+
+
+def test_cpe_source_matches_golden(program):
+    assert program.cpe_source() == (GOLDEN / "gemm_cpe_full.c").read_text()
+
+
+def test_mpe_source_matches_golden(program):
+    assert program.mpe_source() == (GOLDEN / "gemm_mpe_full.c").read_text()
+
+
+def test_schedule_tree_matches_golden(program):
+    assert program.tree_dump() + "\n" == (
+        GOLDEN / "schedule_tree_full.txt"
+    ).read_text()
+
+
+def test_golden_tree_contains_every_fig11_construct():
+    text = (GOLDEN / "schedule_tree_full.txt").read_text()
+    for token in (
+        "DOMAIN", "BAND", "SEQUENCE", "FILTER", "EXTENSION",
+        'MARK: "micro_kernel"', "mesh_row", "mesh_col",
+        "getA_0", "getA_x1", "rbcastA_0", "cbcastB_l1", "synch",
+    ):
+        assert token in text, token

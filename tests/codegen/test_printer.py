@@ -1,0 +1,130 @@
+"""The athread C pretty-printer (§7)."""
+
+import pytest
+
+from repro.core import CompilerOptions, GemmCompiler, GemmSpec
+from repro.sunway.arch import SW26010PRO
+
+
+def program_for(options, spec=None):
+    spec = spec or GemmSpec(batch_param="BS" if options.batch else None)
+    return GemmCompiler(SW26010PRO, options).compile(spec)
+
+
+@pytest.fixture(scope="module")
+def full_src():
+    return program_for(CompilerOptions.full()).cpe_source()
+
+
+def test_buffer_declarations(full_src):
+    assert "__thread_local double local_C[64][64];" in full_src
+    assert "__thread_local double local_A_dma[2][64][32];" in full_src
+    assert "__thread_local double local_B_bc[2][32][64];" in full_src
+
+
+def test_reply_declarations(full_src):
+    assert "__thread_local volatile int get_replyA[2];" in full_src
+    assert "__thread_local volatile int get_replyC[1];" in full_src
+
+
+def test_dma_iget_arguments_match_section4(full_src):
+    """dma_iget(&local_..., &Matrix[r][c], size, len, Y-Y_tau, &reply)."""
+    assert (
+        "dma_iget(&local_C[0][0], &C[64 * Rid + 512 * ic][64 * Cid + 512 * jc], "
+        "4096, 64, (N - 64), &get_replyC[0]);" in full_src
+    )
+    assert "2048, 32, (K - 32), &get_replyA[0]);" in full_src
+
+
+def test_prefetch_uses_next_parity(full_src):
+    assert "&local_A_dma[(ko + 1) % 2][0][0]" in full_src
+    assert "&get_replyA[(ko + 1) % 2]" in full_src
+    assert "256 * ko + 256" in full_src  # the k chunk of iteration ko+1
+
+
+def test_rma_broadcast_syntax(full_src):
+    assert "rma_row_ibcast(&local_A_bc[" in full_src
+    assert "rma_col_ibcast(&local_B_bc[" in full_src
+    assert "&rbcast_replysA[" in full_src and "&rbcast_replyrA[" in full_src
+
+
+def test_owner_guards(full_src):
+    assert "if ((Cid == km + 1))" in full_src or "if ((Cid == (km + 1)))" in full_src
+    assert "if ((Rid == 0))" in full_src
+
+
+def test_synch_before_broadcast(full_src):
+    before, _, after = full_src.partition("rma_row_ibcast")
+    assert "athread_ssync_array();" in before
+
+
+def test_kernel_invocation(full_src):
+    assert (
+        "asm_dgemm_64x64x32(&local_C[0][0], &local_A_bc[(km) % 2][0][0], "
+        "&local_B_bc[(km) % 2][0][0], alpha);" in full_src
+    )
+    assert "extern void asm_dgemm_64x64x32" in full_src
+
+
+def test_beta_scaling_loop(full_src):
+    assert "local_C[r][c] *= beta;" in full_src
+
+
+def test_wait_guard_for_prefetch(full_src):
+    # The ko <= Ko-2 issue guard of Fig. 11.
+    assert "((K) / 256) - 2 >= 0" in full_src
+
+
+def test_compile_commands_documented(full_src):
+    assert "swgcc -mslave -msimd -O3" in full_src
+
+
+def test_no_asm_variant_prints_scalar_loops():
+    src = program_for(CompilerOptions.baseline()).cpe_source()
+    assert "asm_dgemm" not in src
+    assert "for (int ip = 0; ip < 64; ip++)" in src
+    assert "local_C[0][ip][jp]" not in src  # single-slot C drops the slot
+    assert "+=" in src
+
+
+def test_fusion_prologue_prints_elementwise():
+    options = CompilerOptions.full().with_(fusion="prologue")
+    src = program_for(options, GemmSpec(prologue_func="quant")).cpe_source()
+    assert "round(" in src
+    assert "local_A_dma" in src
+
+
+def test_fusion_epilogue_prints_activation():
+    options = CompilerOptions.full().with_(fusion="epilogue", epilogue_func="relu")
+    src = program_for(options, GemmSpec(epilogue_func="relu")).cpe_source()
+    assert "fmax(" in src
+
+
+def test_batched_indexing():
+    options = CompilerOptions.full().with_(batch=True)
+    src = program_for(options).cpe_source()
+    assert "for (int b = 0; b < BS; b++)" in src
+    assert "&A[b][" in src
+
+
+def test_mpe_source_structure():
+    program = program_for(CompilerOptions.full())
+    src = program.mpe_source()
+    assert "athread_init();" in src
+    assert "athread_spawn(slave_swgemm_cpe, &args);" in src
+    assert "athread_join();" in src
+    assert "memalign(128," in src
+    assert "-faddress_align=128" in src
+
+
+def test_sources_are_deterministic():
+    a = program_for(CompilerOptions.full()).cpe_source()
+    b = program_for(CompilerOptions.full()).cpe_source()
+    assert a == b
+
+
+def test_rma_free_variant_has_no_broadcast_text():
+    src = program_for(CompilerOptions.with_asm()).cpe_source()
+    assert "rma_" not in src
+    assert "athread_ssync_array" not in src
+    assert "dma_iget" in src

@@ -1,0 +1,54 @@
+"""Shared fixtures.
+
+Functional tests run on the down-scaled TOY_ARCH (2×2 mesh, 8×8×4 micro
+kernel) so whole-mesh executions take milliseconds; a handful of
+integration tests exercise the real SW26010Pro geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompilerOptions, GemmCompiler, GemmSpec
+from repro.sunway.arch import SW26010PRO, TOY_ARCH
+
+
+VARIANTS = {
+    "baseline": CompilerOptions.baseline(),
+    "asm": CompilerOptions.with_asm(),
+    "rma": CompilerOptions.with_rma(),
+    "full": CompilerOptions.full(),
+}
+
+
+@pytest.fixture(scope="session")
+def toy_programs():
+    """One compiled toy-arch program per §8.1 variant."""
+    spec = GemmSpec()
+    return {
+        name: GemmCompiler(TOY_ARCH, options).compile(spec)
+        for name, options in VARIANTS.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def toy_full_program(toy_programs):
+    return toy_programs["full"]
+
+
+@pytest.fixture(scope="session")
+def pro_full_program():
+    return GemmCompiler(SW26010PRO, CompilerOptions.full()).compile(GemmSpec())
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0xC0FFEE)
+
+
+def reference_gemm(A, B, C, alpha=1.0, beta=1.0):
+    """NumPy oracle for C = alpha*A@B + beta*C (2-D or batched 3-D)."""
+    if A.ndim == 3:
+        return alpha * np.einsum("bik,bkj->bij", A, B) + beta * C
+    return alpha * (A @ B) + beta * C

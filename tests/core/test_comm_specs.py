@@ -1,0 +1,131 @@
+"""DMA argument derivation (§4, Eq. 1) and RMA specs (§5)."""
+
+import pytest
+
+from repro.core.decomposition import decompose
+from repro.core.dma import derive_dma_specs
+from repro.core.options import CompilerOptions
+from repro.core.rma import derive_rma_specs
+from repro.core.spec import GemmSpec
+from repro.core.tile_model import plan_for_kernel
+from repro.errors import CompilationError
+from repro.sunway.arch import SW26010PRO
+
+
+def make(options=None, spec=None):
+    options = options or CompilerOptions.full()
+    spec = spec or GemmSpec(batch_param="BS" if options.batch else None)
+    plan = plan_for_kernel(SW26010PRO, options)
+    dec = decompose(spec, plan, options)
+    return dec
+
+
+def test_tile_shapes_match_plan():
+    specs = derive_dma_specs(make())
+    assert (specs["getA"].rows, specs["getA"].cols) == (64, 32)
+    assert (specs["getB"].rows, specs["getB"].cols) == (32, 64)
+    assert (specs["getC"].rows, specs["getC"].cols) == (64, 64)
+    assert specs["getA"].size == 2048
+    assert specs["putC"].direction == "put"
+
+
+def test_eq1_start_coordinates_for_A():
+    """r = 512·ic + 64·Rid, c = 256·ko + 32·Cid — Eq. (1) instantiated."""
+    specs = derive_dma_specs(make())
+    a = specs["getA"]
+    env = {"ic": 2, "Rid": 3, "ko": 1, "Cid": 5}
+    assert a.row_expr.evaluate(env) == 512 * 2 + 64 * 3
+    assert a.col_expr.evaluate(env) == 256 * 1 + 32 * 5
+    assert a.ld_param == "K"
+
+
+def test_eq1_start_coordinates_for_B():
+    specs = derive_dma_specs(make())
+    b = specs["getB"]
+    env = {"jc": 1, "Cid": 2, "ko": 3, "Rid": 4}
+    assert b.row_expr.evaluate(env) == 256 * 3 + 32 * 4
+    assert b.col_expr.evaluate(env) == 512 * 1 + 64 * 2
+    assert b.ld_param == "N"
+
+
+def test_eq1_start_coordinates_for_C():
+    specs = derive_dma_specs(make())
+    c = specs["getC"]
+    env = {"ic": 1, "Rid": 2, "jc": 3, "Cid": 4}
+    assert c.row_expr.evaluate(env) == 512 + 128
+    assert c.col_expr.evaluate(env) == 512 * 3 + 64 * 4
+
+
+def test_double_buffer_parity():
+    specs = derive_dma_specs(make())
+    assert specs["getA"].slot_expr.evaluate({"ko": 3}) == 1
+    assert specs["getA"].slot_expr.evaluate({"ko": 4}) == 0
+    # C is reused across the k loop: single slot.
+    assert specs["getC"].slot_expr.evaluate({}) == 0
+
+
+def test_no_hiding_uses_single_slots():
+    specs = derive_dma_specs(make(CompilerOptions.with_rma()))
+    assert specs["getA"].slot_expr.evaluate({"ko": 3}) == 0
+
+
+def test_no_rma_slices_by_ktile():
+    specs = derive_dma_specs(make(CompilerOptions.with_asm()))
+    a = specs["getA"]
+    env = {"ic": 0, "Rid": 0, "ktile": 5}
+    assert a.col_expr.evaluate(env) == 5 * 32
+    # Without RMA there is no Cid term in A's k coordinate.
+    assert "Cid" not in a.col_expr.variables()
+
+
+def test_batched_leading_coordinate():
+    options = CompilerOptions.full().with_(batch=True)
+    specs = derive_dma_specs(make(options))
+    a = specs["getA"]
+    assert a.batch_expr is not None
+    assert a.batch_expr.evaluate({"b": 7}) == 7
+
+
+def test_substituted_for_issue_ahead():
+    from repro.poly.affine import aff_var
+
+    specs = derive_dma_specs(make())
+    ahead = specs["getA"].substituted({"ko": aff_var("ko") + 1})
+    assert ahead.col_expr.evaluate({"ko": 1, "Cid": 0}) == 512
+    assert ahead.slot_expr.evaluate({"ko": 1}) == 0  # (1+1) % 2
+
+
+# -- RMA ----------------------------------------------------------------------
+
+
+def test_rma_specs_roles():
+    dec = make()
+    specs = derive_rma_specs(dec)
+    a = specs["rbcastA"]
+    b = specs["cbcastB"]
+    assert (a.kind, a.owner_var) == ("row", "Cid")
+    assert (b.kind, b.owner_var) == ("col", "Rid")
+    assert a.size == 64 * 32
+    assert b.size == 32 * 64
+
+
+def test_rma_parity_levels():
+    """A/B broadcasts double-buffer on the inner loop, their DMA sources
+    on the outer loop (§6.3's two pipeline levels)."""
+    specs = derive_rma_specs(make())
+    a = specs["rbcastA"]
+    assert a.src_slot_expr.evaluate({"ko": 3}) == 1
+    assert a.dst_slot_expr.evaluate({"km": 3}) == 1
+    assert a.dst_slot_expr.evaluate({"km": 4}) == 0
+
+
+def test_rma_requires_rma_plan():
+    dec = make(CompilerOptions.with_asm())
+    with pytest.raises(CompilationError):
+        derive_rma_specs(dec)
+
+
+def test_buffers_distinct_between_levels():
+    specs = derive_rma_specs(make())
+    assert specs["rbcastA"].src_buffer == "local_A_dma"
+    assert specs["rbcastA"].dst_buffer == "local_A_bc"

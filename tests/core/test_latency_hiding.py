@@ -1,0 +1,127 @@
+"""Structure of the communication/pipelining trees (Figs. 9 and 11)."""
+
+import pytest
+
+from repro.core import CompilerOptions, GemmCompiler, GemmSpec
+from repro.poly.schedule_tree import (
+    BandNode,
+    ExtensionNode,
+    FilterNode,
+    SequenceNode,
+)
+from repro.sunway.arch import SW26010PRO
+
+
+def tree_for(options):
+    return GemmCompiler(SW26010PRO, options).compile(GemmSpec()).tree
+
+
+def ext_stmt_names(tree):
+    names = []
+    for node in tree.find_all(ExtensionNode):
+        names.extend(s.name for s in node.stmts)
+    return names
+
+
+def test_fig9_tree_without_hiding():
+    """No peeling: every communication is scheduled ⊗ with its wait."""
+    tree = tree_for(CompilerOptions.with_rma())
+    names = ext_stmt_names(tree)
+    assert "getA" in names and "get_replyA" in names
+    assert "rbcastA" in names and "rbcast_replyA" in names
+    # No issue-ahead statements.
+    assert not any(n.endswith("_x1") or n.endswith("_l1") for n in names)
+    # And no filter carries peeling constraints.
+    assert all(not f.constraints for f in tree.find_all(FilterNode))
+
+
+def test_fig11_tree_with_hiding():
+    """Peeled first issues + guarded next-iteration issues at both levels."""
+    tree = tree_for(CompilerOptions.full())
+    names = ext_stmt_names(tree)
+    for expected in (
+        "getA_0", "getB_0",          # peeled DMA issue (outer level)
+        "getA_x1", "getB_x1",        # issue-ahead for iteration x+1
+        "rbcastA_0", "cbcastB_0",    # peeled RMA issue (inner level)
+        "rbcastA_l1", "cbcastB_l1",  # issue-ahead for slice l+1
+        "synch_0", "synch_l",
+    ):
+        assert expected in names, expected
+    guarded = [f for f in tree.find_all(FilterNode) if f.constraints]
+    labels = {f.label for f in guarded}
+    assert "outer k dimension" in labels
+    assert "inner k dimension" in labels
+
+
+def test_c_extension_wraps_everything():
+    """getC/putC sit at the mesh level, outside the whole k loop nest —
+    'the extension nodes for output matrix tile C are introduced outside
+    the reduced dimension' (§5)."""
+    tree = tree_for(CompilerOptions.full())
+    mesh_band = next(
+        b for b in tree.find_all(BandNode)
+        if b.members and b.members[0].binding == "mesh_row"
+    )
+    ext = mesh_band.child
+    assert isinstance(ext, ExtensionNode)
+    names = [s.name for s in ext.stmts]
+    assert names[0] == "getC"
+    assert "putC" in names
+    seq = ext.child
+    assert isinstance(seq, SequenceNode)
+    assert tuple(seq.children[0].statements) == ("getC", "get_replyC")
+    assert tuple(seq.children[-1].statements) == ("putC", "put_replyC")
+
+
+def test_scale_c_between_get_and_compute():
+    tree = tree_for(CompilerOptions.full())
+    mesh_band = next(
+        b for b in tree.find_all(BandNode)
+        if b.members and b.members[0].binding == "mesh_row"
+    )
+    seq = mesh_band.child.child
+    order = [tuple(f.statements) for f in seq.children]
+    assert order[1] == ("scaleC",)
+
+
+def test_epilogue_filter_before_putc():
+    options = CompilerOptions.full().with_(fusion="epilogue")
+    spec = GemmSpec(epilogue_func="relu")
+    tree = GemmCompiler(SW26010PRO, options).compile(spec).tree
+    mesh_band = next(
+        b for b in tree.find_all(BandNode)
+        if b.members and b.members[0].binding == "mesh_row"
+    )
+    seq = mesh_band.child.child
+    order = [tuple(f.statements) for f in seq.children]
+    assert ("epilogueC",) in order
+    assert order.index(("epilogueC",)) == len(order) - 2  # just before putC
+
+
+def test_prologue_filter_inside_outer_k_loop():
+    options = CompilerOptions.full().with_(fusion="prologue")
+    spec = GemmSpec(prologue_func="quant")
+    tree = GemmCompiler(SW26010PRO, options).compile(spec).tree
+    names = ext_stmt_names(tree)
+    assert "prologueA" in names
+    # The prologue statement's filter lives under the outer k band.
+    kouter = next(
+        b for b in tree.find_all(BandNode)
+        if b.members and b.members[0].var == "ko"
+    )
+    under = [
+        tuple(f.statements)
+        for f in kouter.child.walk()
+        if isinstance(f, FilterNode)
+    ]
+    assert ("prologueA",) in under
+
+
+def test_no_rma_tree_has_single_dma_level():
+    tree = tree_for(CompilerOptions.with_asm())
+    names = ext_stmt_names(tree)
+    assert not any("bcast" in n for n in names)
+    assert not any(n.startswith("synch") for n in names)
+    bands = [b.member_vars() for b in tree.find_all(BandNode)]
+    assert ["ktile"] in bands
+    assert ["ko"] not in bands

@@ -1,0 +1,89 @@
+"""Tokeniser."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend.lexer import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+def test_keywords_vs_identifiers():
+    assert kinds("for fort int intx") == [
+        ("keyword", "for"),
+        ("ident", "fort"),
+        ("keyword", "int"),
+        ("ident", "intx"),
+    ]
+
+
+def test_numbers():
+    assert kinds("42 3.14 1e3 2.5e-2") == [
+        ("int", "42"),
+        ("float", "3.14"),
+        ("float", "1e3"),
+        ("float", "2.5e-2"),
+    ]
+
+
+def test_malformed_exponent():
+    with pytest.raises(LexError):
+        tokenize("1e+")
+
+
+def test_operators_maximal_munch():
+    assert kinds("++ + += <= < == =") == [
+        ("op", "++"),
+        ("op", "+"),
+        ("op", "+="),
+        ("op", "<="),
+        ("op", "<"),
+        ("op", "=="),
+        ("op", "="),
+    ]
+
+
+def test_punctuation_and_subscripts():
+    assert kinds("A[i][j]") == [
+        ("ident", "A"),
+        ("punct", "["),
+        ("ident", "i"),
+        ("punct", "]"),
+        ("punct", "["),
+        ("ident", "j"),
+        ("punct", "]"),
+    ]
+
+
+def test_comments_are_skipped():
+    source = """
+    // line comment
+    x /* block
+    comment */ y
+    #include <stdio.h>
+    z
+    """
+    assert kinds(source) == [("ident", "x"), ("ident", "y"), ("ident", "z")]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_unknown_character():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_positions_tracked():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].line == 1 and tokens[0].column == 1
+    assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+def test_eof_token_present():
+    tokens = tokenize("")
+    assert len(tokens) == 1 and tokens[0].kind == "eof"

@@ -1,0 +1,196 @@
+"""Pattern recognition: C source → GemmSpec."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.frontend.patterns import extract_spec
+
+GEMM = """
+void gemm(int M, int N, int K, double alpha,
+          double A[M][K], double B[K][N], double C[M][N]) {
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < N; j++)
+      for (int k = 0; k < K; k++)
+        C[i][j] = C[i][j] + alpha * A[i][k] * B[k][j];
+}
+"""
+
+
+def test_canonical_gemm():
+    spec, options = extract_spec(GEMM, return_options=True)
+    assert (spec.m_param, spec.n_param, spec.k_param) == ("M", "N", "K")
+    assert (spec.a_name, spec.b_name, spec.c_name) == ("A", "B", "C")
+    assert not spec.is_batched
+    assert options.fusion == "none"
+
+
+def test_gemm_without_alpha():
+    src = GEMM.replace("double alpha,", "").replace("alpha * ", "")
+    spec = extract_spec(src)
+    assert spec.a_name == "A"
+
+
+def test_plus_equals_spelling():
+    src = GEMM.replace(
+        "C[i][j] = C[i][j] + alpha * A[i][k] * B[k][j];",
+        "C[i][j] += alpha * A[i][k] * B[k][j];",
+    )
+    assert extract_spec(src).c_name == "C"
+
+
+def test_commuted_product():
+    src = GEMM.replace("alpha * A[i][k] * B[k][j]", "B[k][j] * A[i][k] * alpha")
+    spec = extract_spec(src)
+    assert spec.a_name == "A" and spec.b_name == "B"
+
+
+def test_loop_order_does_not_matter():
+    src = """
+    void gemm(int M, int N, int K, double A[M][K], double B[K][N], double C[M][N]) {
+      for (int k = 0; k < K; k++)
+        for (int i = 0; i < M; i++)
+          for (int j = 0; j < N; j++)
+            C[i][j] += A[i][k] * B[k][j];
+    }
+    """
+    spec = extract_spec(src)
+    assert (spec.m_param, spec.n_param, spec.k_param) == ("M", "N", "K")
+
+
+def test_renamed_everything():
+    src = """
+    void mm(int rows, int cols, int depth, double X[rows][depth],
+            double Y[depth][cols], double Z[rows][cols]) {
+      for (int a = 0; a < rows; a++)
+        for (int b = 0; b < cols; b++)
+          for (int c = 0; c < depth; c++)
+            Z[a][b] += X[a][c] * Y[c][b];
+    }
+    """
+    spec = extract_spec(src)
+    assert spec.m_param == "rows"
+    assert spec.k_param == "depth"
+    assert spec.a_name == "X"
+
+
+def test_batched_gemm():
+    src = """
+    void bgemm(int BS, int M, int N, int K, double A[BS][M][K],
+               double B[BS][K][N], double C[BS][M][N]) {
+      for (int b = 0; b < BS; b++)
+        for (int i = 0; i < M; i++)
+          for (int j = 0; j < N; j++)
+            for (int k = 0; k < K; k++)
+              C[b][i][j] += A[b][i][k] * B[b][k][j];
+    }
+    """
+    spec, options = extract_spec(src, return_options=True)
+    assert spec.batch_param == "BS"
+    assert options.batch
+
+
+def test_prologue_pattern():
+    src = """
+    void fused(int M, int N, int K, double A[M][K], double B[K][N], double C[M][N]) {
+      for (int i = 0; i < M; i++)
+        for (int k = 0; k < K; k++)
+          A[i][k] = quant(A[i][k]);
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < N; j++)
+          for (int k = 0; k < K; k++)
+            C[i][j] += A[i][k] * B[k][j];
+    }
+    """
+    spec, options = extract_spec(src, return_options=True)
+    assert spec.prologue_func == "quant"
+    assert options.fusion == "prologue"
+
+
+def test_epilogue_pattern():
+    src = """
+    void fused(int M, int N, int K, double A[M][K], double B[K][N], double C[M][N]) {
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < N; j++)
+          for (int k = 0; k < K; k++)
+            C[i][j] += A[i][k] * B[k][j];
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < N; j++)
+          C[i][j] = relu(C[i][j]);
+    }
+    """
+    spec, options = extract_spec(src, return_options=True)
+    assert spec.epilogue_func == "relu"
+    assert options.fusion == "epilogue"
+    assert options.epilogue_func == "relu"
+
+
+def test_prologue_on_wrong_array_rejected():
+    src = """
+    void fused(int M, int N, int K, double A[M][K], double B[K][N], double C[M][N]) {
+      for (int k = 0; k < K; k++)
+        for (int j = 0; j < N; j++)
+          B[k][j] = quant(B[k][j]);
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < N; j++)
+          for (int k = 0; k < K; k++)
+            C[i][j] += A[i][k] * B[k][j];
+    }
+    """
+    with pytest.raises(PatternError, match="A input"):
+        extract_spec(src)
+
+
+def test_both_fusions_rejected():
+    src = """
+    void fused(int M, int N, int K, double A[M][K], double B[K][N], double C[M][N]) {
+      for (int i = 0; i < M; i++)
+        for (int k = 0; k < K; k++)
+          A[i][k] = quant(A[i][k]);
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < N; j++)
+          for (int k = 0; k < K; k++)
+            C[i][j] += A[i][k] * B[k][j];
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < N; j++)
+          C[i][j] = relu(C[i][j]);
+    }
+    """
+    with pytest.raises(PatternError, match="smaller"):
+        extract_spec(src)
+
+
+def test_no_gemm_rejected():
+    src = """
+    void notgemm(int M, double A[M][M]) {
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < M; j++)
+          A[i][j] = relu(A[i][j]);
+    }
+    """
+    with pytest.raises(PatternError, match="no GEMM"):
+        extract_spec(src)
+
+
+def test_wrong_subscripts_rejected():
+    src = GEMM.replace("A[i][k] * B[k][j]", "A[k][i] * B[k][j]")
+    with pytest.raises(PatternError):
+        extract_spec(src)
+
+
+def test_mismatched_array_extent_rejected():
+    src = GEMM.replace("double A[M][K]", "double A[K][M]")
+    with pytest.raises(PatternError, match="extent|implies"):
+        extract_spec(src)
+
+
+def test_three_array_product_rejected():
+    src = GEMM.replace("alpha * A[i][k] * B[k][j]",
+                       "A[i][k] * B[k][j] * C[i][j]")
+    with pytest.raises(PatternError):
+        extract_spec(src)
+
+
+def test_named_function_selection():
+    src = "void other(int M, double X[M][M]) { X[0][0] = 1; }\n" + GEMM
+    spec = extract_spec(src, function="gemm")
+    assert spec.c_name == "C"

@@ -1,0 +1,50 @@
+"""The swgemm command-line interface."""
+
+import pytest
+
+from repro.cli import DEFAULT_GEMM_C, main
+
+
+def test_compile_writes_sources(tmp_path, capsys):
+    src = tmp_path / "gemm.c"
+    src.write_text(DEFAULT_GEMM_C)
+    out = tmp_path / "out"
+    assert main(["compile", str(src), "-o", str(out)]) == 0
+    cpe = (out / "gemm_cpe.c").read_text()
+    mpe = (out / "gemm_mpe.c").read_text()
+    assert "dma_iget" in cpe
+    assert "athread_spawn" in mpe
+    captured = capsys.readouterr().out
+    assert "code generation took" in captured
+
+
+def test_compile_default_input(tmp_path, capsys):
+    out = tmp_path / "out"
+    assert main(["compile", "-o", str(out)]) == 0
+    assert (out / "gemm_cpe.c").exists()
+
+
+def test_compile_no_use_asm(tmp_path):
+    out = tmp_path / "out"
+    assert main(["compile", "--no-use-asm", "-o", str(out)]) == 0
+    text = (out / "gemm_cpe.c").read_text()
+    assert "asm_dgemm" not in text
+
+
+def test_tree_dump(capsys):
+    assert main(["tree"]) == 0
+    out = capsys.readouterr().out
+    assert "DOMAIN" in out and "BAND" in out and "EXTENSION" in out
+
+
+def test_run_verifies_numerics(capsys):
+    assert main(["run", "-M", "512", "-N", "512", "-K", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "max |C - reference|" in out
+
+
+def test_perf_prints_variants(capsys):
+    assert main(["perf", "-M", "512", "-N", "512", "-K", "1024"]) == 0
+    out = capsys.readouterr().out
+    for token in ("dma-only", "+asm", "+rma", "+hiding", "xMath"):
+        assert token in out

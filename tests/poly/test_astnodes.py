@@ -1,0 +1,88 @@
+"""AST node utilities and expression evaluation."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.poly.affine import aff_var
+from repro.poly.astnodes import (
+    AddrOf,
+    AffRef,
+    ArrayRef,
+    BinExpr,
+    Block,
+    BufferDecl,
+    CommentStmt,
+    DoubleLit,
+    ForLoop,
+    IfStmt,
+    IntLit,
+    ReplyDecl,
+    VarRef,
+    walk_stmts,
+)
+
+
+def test_literals_evaluate():
+    assert IntLit(3).evaluate({}) == 3
+    assert DoubleLit(2.5).evaluate({}) == 2.5
+
+
+def test_varref():
+    assert VarRef("x").evaluate({"x": 9}) == 9
+    with pytest.raises(ExecutionError):
+        VarRef("missing").evaluate({})
+
+
+def test_affref_filters_non_int_env():
+    expr = AffRef(aff_var("ko") + 1)
+    # alpha is a float in the env; the affine evaluation must ignore it.
+    assert expr.evaluate({"ko": 3, "alpha": 1.5}) == 4
+
+
+@pytest.mark.parametrize(
+    "op,a,b,expected",
+    [
+        ("+", 2, 3, 5), ("-", 2, 3, -1), ("*", 2, 3, 6), ("/", 7, 2, 3),
+        ("%", 7, 2, 1), ("<", 1, 2, True), ("<=", 2, 2, True),
+        (">", 1, 2, False), (">=", 2, 2, True), ("==", 2, 2, True),
+        ("!=", 2, 2, False), ("&&", 1, 0, False), ("||", 0, 1, True),
+        ("min", 4, 7, 4), ("max", 4, 7, 7),
+    ],
+)
+def test_binexpr_operators(op, a, b, expected):
+    assert BinExpr(op, IntLit(a), IntLit(b)).evaluate({}) == expected
+
+
+def test_binexpr_unknown_operator():
+    with pytest.raises(ExecutionError):
+        BinExpr("**", IntLit(2), IntLit(3)).evaluate({})
+
+
+def test_arrayref_and_addrof_not_inline_evaluable():
+    ref = ArrayRef("A", (IntLit(0),))
+    with pytest.raises(ExecutionError):
+        ref.evaluate({})
+    with pytest.raises(ExecutionError):
+        AddrOf(ref).evaluate({})
+
+
+def test_walk_stmts_traverses_all_paths():
+    inner = CommentStmt("inner")
+    loop = ForLoop("i", IntLit(0), IntLit(4), Block([inner]))
+    cond = IfStmt(IntLit(1), Block([CommentStmt("then")]),
+                  Block([CommentStmt("else")]))
+    block = Block([loop, cond])
+    texts = [s.text for s in walk_stmts(block) if isinstance(s, CommentStmt)]
+    assert texts == ["inner", "then", "else"]
+
+
+def test_buffer_decl_sizes():
+    double = BufferDecl("x", (2, 8, 4))
+    assert double.elements == 64
+    assert double.nbytes == 512
+    single = BufferDecl("y", (8, 4), dtype="float")
+    assert single.nbytes == 128
+
+
+def test_reply_decl_defaults():
+    assert ReplyDecl("r").count == 1

@@ -1,0 +1,195 @@
+"""Dependence analysis: the parallelism/tilability oracle of §2.2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.poly.affine import aff_var
+from repro.poly.dependences import (
+    Access,
+    analyze_statement,
+    dependence_families,
+    detect_reductions,
+    enumerate_distances,
+)
+from repro.poly.imap import AffineMap
+from repro.poly.iset import box_set
+from repro.poly.space import Space
+
+i, j, k = aff_var("i"), aff_var("j"), aff_var("k")
+S = Space("S1", ("i", "j", "k"))
+A2 = Space("A", ("r", "c"))
+
+
+def gemm_accesses():
+    c_map = AffineMap.access(S, Space("C", ("r", "c")), [i, j])
+    return [
+        Access("C", c_map, True),
+        Access("C", c_map, False),
+        Access("A", AffineMap.access(S, A2, [i, k]), False),
+        Access("B", AffineMap.access(S, Space("B", ("r", "c")), [k, j]), False),
+    ]
+
+
+def small_domain(m=4, n=4, kk=4):
+    return box_set(S, {"i": (0, m), "j": (0, n), "k": (0, kk)})
+
+
+def test_gemm_outer_loops_coincident():
+    summary = analyze_statement(small_domain(), gemm_accesses())
+    assert summary.coincident == (True, True, False)
+
+
+def test_gemm_band_permutable():
+    summary = analyze_statement(small_domain(), gemm_accesses())
+    assert summary.permutable
+
+
+def test_gemm_reduction_detected():
+    summary = analyze_statement(small_domain(), gemm_accesses())
+    assert summary.reduction_dims == ("k",)
+
+
+def test_gemm_matches_brute_force():
+    dom = small_domain(3, 3, 3)
+    brute = enumerate_distances(dom, gemm_accesses(), {})
+    # All brute-force distances are along k only.
+    assert brute
+    assert all(d[0] == 0 and d[1] == 0 and d[2] > 0 for d in brute)
+
+
+def test_stencil_is_not_parallel():
+    # A[i] = A[i-1] + A[i]: distance 1 on the single loop.
+    space = Space("S", ("i",))
+    a1 = Space("V", ("x",))
+    ii = aff_var("i")
+    accesses = [
+        Access("V", AffineMap.access(space, a1, [ii]), True),
+        Access("V", AffineMap.access(space, a1, [ii - 1]), False),
+    ]
+    summary = analyze_statement(
+        box_set(space, {"i": (1, 8)}), accesses, ("i",)
+    )
+    assert summary.coincident == (False,)
+
+
+def test_constant_distance_is_permutable():
+    # write A[i][j], read A[i-1][j-1]: distance (1,1) componentwise >= 0.
+    space = Space("S", ("i", "j"))
+    ii, jj = aff_var("i"), aff_var("j")
+    accesses = [
+        Access("A", AffineMap.access(space, A2, [ii, jj]), True),
+        Access("A", AffineMap.access(space, A2, [ii - 1, jj - 1]), False),
+    ]
+    summary = analyze_statement(
+        box_set(space, {"i": (1, 6), "j": (1, 6)}), accesses, ("i", "j")
+    )
+    assert summary.permutable
+    assert summary.coincident == (False, False)
+
+
+def test_antidiagonal_distance_blocks_permutability():
+    # write A[i][j], read A[i-1][j+1]: distance (1,-1) — not permutable.
+    space = Space("S", ("i", "j"))
+    ii, jj = aff_var("i"), aff_var("j")
+    accesses = [
+        Access("A", AffineMap.access(space, A2, [ii, jj]), True),
+        Access("A", AffineMap.access(space, A2, [ii - 1, jj + 1]), False),
+    ]
+    summary = analyze_statement(
+        box_set(space, {"i": (1, 6), "j": (0, 6)}), accesses, ("i", "j")
+    )
+    assert not summary.permutable
+
+
+def test_two_free_dims_not_permutable():
+    # write A[i]: iterations with the same i but any (j, k) collide.
+    space = Space("S", ("i", "j"))
+    a1 = Space("V", ("x",))
+    accesses = [
+        Access("V", AffineMap.access(space, a1, [aff_var("i")]), True),
+    ]
+    summary = analyze_statement(
+        box_set(space, {"i": (0, 4), "j": (0, 4)}), accesses, ("i", "j")
+    )
+    assert summary.coincident == (True, False)
+
+
+def test_read_only_arrays_create_no_dependence():
+    accesses = [
+        Access("A", AffineMap.access(S, A2, [i, k]), False),
+        Access("B", AffineMap.access(S, A2, [k, j]), False),
+    ]
+    families = dependence_families(accesses, ("i", "j", "k"))
+    assert families == []
+
+
+def test_nonuniform_pair_is_conservative():
+    # write A[i][j], read A[j][i]: different linear parts.
+    space = Space("S", ("i", "j"))
+    ii, jj = aff_var("i"), aff_var("j")
+    accesses = [
+        Access("A", AffineMap.access(space, A2, [ii, jj]), True),
+        Access("A", AffineMap.access(space, A2, [jj, ii]), False),
+    ]
+    summary = analyze_statement(
+        box_set(space, {"i": (0, 4), "j": (0, 4)}), accesses, ("i", "j")
+    )
+    assert not summary.permutable
+    assert summary.coincident == (False, False)
+
+
+def test_reduction_requires_identical_maps():
+    accesses = [
+        Access("A", AffineMap.access(S, A2, [i, j]), True),
+        Access("A", AffineMap.access(S, A2, [i, j - 1]), False),
+    ]
+    assert detect_reductions(accesses, ("i", "j", "k")) == ()
+
+
+def test_batched_gemm_batch_dim_parallel():
+    space = Space("S1", ("b", "i", "j", "k"))
+    b = aff_var("b")
+    c3 = Space("C", ("d0", "d1", "d2"))
+    c_map = AffineMap.access(space, c3, [b, i, j])
+    accesses = [
+        Access("C", c_map, True),
+        Access("C", c_map, False),
+        Access("A", AffineMap.access(space, c3, [b, i, k]), False),
+        Access("B", AffineMap.access(space, c3, [b, k, j]), False),
+    ]
+    dom = box_set(space, {"b": (0, 2), "i": (0, 3), "j": (0, 3), "k": (0, 3)})
+    summary = analyze_statement(dom, accesses, ("b", "i", "j", "k"))
+    assert summary.coincident == (True, True, True, False)
+    assert summary.permutable
+
+
+@given(
+    st.integers(-2, 2), st.integers(-2, 2),
+    st.integers(2, 5), st.integers(2, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_prop_uniform_2d_families_match_brute_force(di, dj, m, n):
+    """Random uniform write/read pair: analytic family vs enumeration."""
+    space = Space("S", ("i", "j"))
+    ii, jj = aff_var("i"), aff_var("j")
+    accesses = [
+        Access("A", AffineMap.access(space, A2, [ii, jj]), True),
+        Access("A", AffineMap.access(space, A2, [ii - di, jj - dj]), False),
+    ]
+    # Extents must exceed the distances or the written and read cells
+    # never overlap and no dependence exists at all.
+    lo_i, lo_j = max(0, di), max(0, dj)
+    m, n = m + abs(di), n + abs(dj)
+    dom = box_set(space, {"i": (lo_i, lo_i + m), "j": (lo_j, lo_j + n)})
+    brute = enumerate_distances(dom, accesses, {})
+    summary = analyze_statement(dom, accesses, ("i", "j"))
+    if (di, dj) == (0, 0):
+        assert brute == set()
+        return
+    # The write->read direction alone yields distance (di, dj); the
+    # reversed pairing gives its negation.  Whichever is lex-positive
+    # must appear in the brute-force set.
+    expected = (di, dj) if (di, dj) > (0, 0) else (-di, -dj)
+    assert expected in brute
+    assert any(f.touches_dim(0) or f.touches_dim(1) for f in summary.families)

@@ -1,0 +1,210 @@
+"""Schedule-tree transformations: tiling, strip-mining, isolation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleTreeError
+from repro.poly.affine import aff_const, aff_var
+from repro.poly.iset import box_set
+from repro.poly.schedule_tree import BandMember, BandNode, DomainNode, ExtensionStmt
+from repro.poly.space import Space
+from repro.poly.transforms import (
+    attach_copies,
+    insert_mark,
+    isolate_member,
+    peel_eq,
+    peel_range,
+    split_band,
+    strip_mine,
+    tile_band,
+)
+
+
+def gemm_band():
+    i, j, k = aff_var("i"), aff_var("j"), aff_var("k")
+    return BandNode(
+        [
+            BandMember("i", {"S1": i}, True, (aff_const(0), aff_var("M"))),
+            BandMember("j", {"S1": j}, True, (aff_const(0), aff_var("N"))),
+            BandMember("k", {"S1": k}, False, (aff_const(0), aff_var("K"))),
+        ],
+        permutable=True,
+    )
+
+
+def evaluate_band_chain(band, env):
+    """Evaluate every member schedule down the band chain."""
+    values = {}
+    node = band
+    while isinstance(node, BandNode):
+        for member in node.members:
+            values[member.var] = member.schedule_for("S1").evaluate(env)
+        node = node.children[0] if node.children else None
+    return values
+
+
+def test_tile_band_structure():
+    band = gemm_band()
+    outer, inner = tile_band(band, [64, 64, 32], ["it", "jt", "kt"], ["ip", "jp", "kp"])
+    assert outer is band
+    assert outer.member_vars() == ["it", "jt", "kt"]
+    assert inner.member_vars() == ["ip", "jp", "kp"]
+    assert outer.child is inner
+
+
+def test_tile_band_schedules_match_fig4a():
+    band = gemm_band()
+    outer, inner = tile_band(band, [64, 64, 32], ["it", "jt", "kt"], ["ip", "jp", "kp"])
+    env = {"i": 200, "j": 70, "k": 45}
+    assert outer.members[0].schedule_for("S1").evaluate(env) == 200 // 64
+    assert inner.members[0].schedule_for("S1").evaluate(env) == 200 % 64
+    assert outer.members[2].schedule_for("S1").evaluate(env) == 45 // 32
+    assert inner.members[2].schedule_for("S1").evaluate(env) == 45 % 32
+
+
+def test_tile_band_extents():
+    band = gemm_band()
+    outer, inner = tile_band(band, [64, 64, 32], ["it", "jt", "kt"], ["ip", "jp", "kp"])
+    lo, hi = outer.members[0].extent
+    assert lo == aff_const(0)
+    assert hi.evaluate({"M": 1024}) == 16
+    lo, hi = inner.members[2].extent
+    assert (lo, hi) == (aff_const(0), aff_const(32))
+
+
+def test_tile_band_coincidence_propagates():
+    band = gemm_band()
+    outer, inner = tile_band(band, [8, 8, 8], ["a", "b", "c"], ["d", "e", "f"])
+    assert [m.coincident for m in outer.members] == [True, True, False]
+    assert [m.coincident for m in inner.members] == [True, True, False]
+
+
+def test_tile_band_argument_validation():
+    with pytest.raises(ScheduleTreeError):
+        tile_band(gemm_band(), [64, 64], ["a", "b"], ["c", "d"])
+    with pytest.raises(ScheduleTreeError):
+        tile_band(gemm_band(), [64, 64, 0], ["a", "b", "c"], ["d", "e", "f"])
+
+
+def test_tile_band_requires_extents():
+    band = gemm_band()
+    band.members[0].extent = None
+    with pytest.raises(ScheduleTreeError):
+        tile_band(band, [8, 8, 8], ["a", "b", "c"], ["d", "e", "f"])
+
+
+def test_isolate_member():
+    band = gemm_band()
+    iso, rest = isolate_member(band, 2)
+    assert iso.member_vars() == ["k"]
+    assert rest.member_vars() == ["i", "j"]
+    assert iso.child is rest
+
+
+def test_isolate_member_bounds_check():
+    with pytest.raises(ScheduleTreeError):
+        isolate_member(gemm_band(), 5)
+    single = BandNode([gemm_band().members[0]])
+    with pytest.raises(ScheduleTreeError):
+        isolate_member(single, 0)
+
+
+def test_split_band():
+    band = gemm_band()
+    upper, lower = split_band(band, 2)
+    assert upper.member_vars() == ["i", "j"]
+    assert lower.member_vars() == ["k"]
+    with pytest.raises(ScheduleTreeError):
+        split_band(lower, 1)
+
+
+def test_strip_mine_matches_fig6():
+    band = gemm_band()
+    iso, _ = isolate_member(band, 2)
+    # first tile k by 32 -> floor(k/32), then strip-mine by 8
+    kt = BandNode(
+        [BandMember("kt", {"S1": aff_var("k").floordiv(32)}, False,
+                    (aff_const(0), aff_var("K").floordiv(32)))]
+    )
+    outer, inner = strip_mine(kt, 0, 8, "ko", "km")
+    env = {"k": 300, "K": 1024}
+    assert outer.members[0].schedule_for("S1").evaluate(env) == 300 // 256
+    assert inner.members[0].schedule_for("S1").evaluate(env) == (300 // 32) % 8
+    assert inner.members[0].extent[1] == aff_const(8)
+
+
+def test_strip_mine_requires_rank_one():
+    with pytest.raises(ScheduleTreeError):
+        strip_mine(gemm_band(), 0, 8, "a", "b")
+
+
+def test_attach_copies_builds_fig9_shape():
+    band = gemm_band()
+    root = DomainNode(
+        {"S1": box_set(Space("S1", ("i", "j", "k")),
+                       {"i": (0, aff_var("M")), "j": (0, aff_var("N")),
+                        "k": (0, aff_var("K"))})},
+        [band],
+    )
+    pre = [ExtensionStmt("getC", "dma_issue"), ExtensionStmt("waitC", "dma_wait")]
+    post = [ExtensionStmt("putC", "dma_issue")]
+    ext = attach_copies(root, band, ["S1"], [pre], [post])
+    assert root.child is ext
+    seq = ext.child
+    assert [tuple(f.statements) for f in seq.children] == [
+        ("getC", "waitC"),
+        ("S1",),
+        ("putC",),
+    ]
+    assert seq.children[1].child is band
+
+
+def test_insert_mark():
+    band = gemm_band()
+    root = DomainNode({"S1": None.__class__ and box_set(
+        Space("S1", ("i", "j", "k")),
+        {"i": (0, aff_var("M")), "j": (0, aff_var("N")), "k": (0, aff_var("K"))},
+    )}, [band])
+    mark = insert_mark(root, band, "micro_kernel", {"x": 1})
+    assert root.child is mark
+    assert mark.child is band
+    assert mark.payload == {"x": 1}
+
+
+def test_peel_helpers():
+    c = peel_eq("ko", 0)
+    assert c.holds({"ko": 0}) and not c.holds({"ko": 1})
+    lo, hi = peel_range("ko", 1, 4)
+    assert lo.holds({"ko": 1}) and hi.holds({"ko": 3})
+    assert not hi.holds({"ko": 4})
+
+
+@given(st.integers(1, 64), st.integers(0, 4095))
+@settings(max_examples=120, deadline=None)
+def test_prop_tiling_roundtrip(tile, point):
+    """tile*outer + inner == original for every point."""
+    band = gemm_band()
+    outer, inner = tile_band(
+        band, [tile, tile, tile], ["it", "jt", "kt"], ["ip", "jp", "kp"]
+    )
+    env = {"i": point, "j": 0, "k": 0}
+    t = outer.members[0].schedule_for("S1").evaluate(env)
+    p = inner.members[0].schedule_for("S1").evaluate(env)
+    assert tile * t + p == point
+    assert 0 <= p < tile
+
+
+@given(st.integers(2, 9), st.integers(1, 32), st.integers(0, 4095))
+@settings(max_examples=120, deadline=None)
+def test_prop_stripmine_roundtrip(factor, tile, k):
+    band = BandNode(
+        [BandMember("kt", {"S1": aff_var("k").floordiv(tile)}, False,
+                    (aff_const(0), aff_var("K").floordiv(tile)))]
+    )
+    outer, inner = strip_mine(band, 0, factor, "ko", "km")
+    env = {"k": k}
+    ko = outer.members[0].schedule_for("S1").evaluate(env)
+    km = inner.members[0].schedule_for("S1").evaluate(env)
+    assert factor * ko + km == k // tile
+    assert 0 <= km < factor

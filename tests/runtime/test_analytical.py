@@ -1,0 +1,66 @@
+"""Closed-form model vs event simulation."""
+
+import pytest
+
+from repro.core.options import CompilerOptions
+from repro.runtime.analytical import predict, predict_gflops
+from repro.runtime.simulator import PerformanceSimulator
+from repro.sunway.arch import SW26010PRO
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return PerformanceSimulator(SW26010PRO)
+
+
+@pytest.mark.parametrize(
+    "options,tolerance",
+    [
+        (CompilerOptions.baseline(), 0.30),
+        (CompilerOptions.with_asm(), 0.30),
+        (CompilerOptions.with_rma(), 0.30),
+        (CompilerOptions.full(), 0.30),
+    ],
+    ids=["baseline", "asm", "rma", "full"],
+)
+def test_model_tracks_simulation(sim, options, tolerance):
+    """The closed-form prediction stays within tolerance of the event
+    simulation for every variant — a mutual regression guard."""
+    for K in (1024, 4096):
+        simulated = sim.simulate(1024, 1024, K, options).gflops
+        predicted = predict_gflops(1024, 1024, K, options)
+        assert predicted == pytest.approx(simulated, rel=tolerance), (
+            f"K={K}: model {predicted:.1f} vs sim {simulated:.1f}"
+        )
+
+
+def test_phase_breakdown_fields():
+    b = predict(1024, 1024, 4096, CompilerOptions.full())
+    assert b.kernel > 0
+    assert b.total >= b.kernel
+    assert b.spawn == pytest.approx(SW26010PRO.spawn_us * 1e-6)
+
+
+def test_hiding_reduces_exposed_dma():
+    hidden = predict(1024, 1024, 4096, CompilerOptions.full())
+    exposed = predict(1024, 1024, 4096, CompilerOptions.with_rma())
+    assert hidden.dma_exposed < exposed.dma_exposed
+    assert hidden.rma_exposed < exposed.rma_exposed
+
+
+def test_rma_reduces_dma_traffic_8x():
+    with_rma = predict(1024, 1024, 4096, CompilerOptions.with_rma())
+    without = predict(1024, 1024, 4096, CompilerOptions.with_asm())
+    ratio = without.dma_exposed / max(with_rma.dma_exposed, 1e-12)
+    assert ratio > 4  # nominal 8×, minus modelling slack
+
+
+def test_kernel_time_dominates_at_large_k():
+    b = predict(512, 512, 16384, CompilerOptions.full())
+    assert b.kernel > 0.5 * b.total
+
+
+def test_batch_scales_linearly():
+    single = predict(512, 512, 1024, CompilerOptions.full(), batch=1)
+    batched = predict(512, 512, 1024, CompilerOptions.full(), batch=4)
+    assert batched.kernel == pytest.approx(4 * single.kernel)

@@ -1,0 +1,57 @@
+"""CompiledProgram container utilities."""
+
+import pytest
+
+from repro.core import CompilerOptions, GemmCompiler, GemmSpec
+from repro.sunway.arch import SW26010PRO, TOY_ARCH
+
+
+@pytest.fixture(scope="module")
+def program():
+    return GemmCompiler(SW26010PRO, CompilerOptions.full()).compile(GemmSpec())
+
+
+def test_padded_shape_rounds_up(program):
+    assert program.padded_shape(1, 1, 1) == (512, 512, 256)
+    assert program.padded_shape(512, 512, 256) == (512, 512, 256)
+    assert program.padded_shape(513, 512, 256) == (1024, 512, 256)
+    assert program.padded_shape(512, 512, 257) == (512, 512, 512)
+
+
+def test_requires_padding(program):
+    assert not program.requires_padding(1024, 1536, 768)
+    assert program.requires_padding(1000, 1536, 768)
+
+
+def test_tree_dump_nonempty(program):
+    dump = program.tree_dump()
+    assert dump.startswith("DOMAIN")
+    assert "EXTENSION" in dump
+
+
+def test_sources_render(program):
+    assert "swgemm_cpe" in program.cpe_source()
+    assert "int main" in program.mpe_source()
+
+
+def test_describe_fields(program):
+    info = program.describe()
+    assert info["variant"] == "+hiding"
+    assert info["spm_bytes"] == 160 * 1024
+    assert info["codegen_seconds"] >= 0
+    assert not info["batched"]
+
+
+def test_spm_budget_by_arch():
+    toy = GemmCompiler(TOY_ARCH, CompilerOptions.full()).compile(GemmSpec())
+    assert toy.spm_bytes() == 2560
+
+
+def test_cpe_program_metadata(program):
+    cpe = program.cpe_program
+    assert cpe.kernel_name == "asm_dgemm_64x64x32"
+    assert cpe.spm_bytes() == 160 * 1024
+    names = [b.name for b in cpe.buffers]
+    assert names[0] == "local_C"
+    for decl in cpe.buffers:
+        assert decl.nbytes == decl.elements * 8

@@ -1,0 +1,78 @@
+"""Architecture specifications and derived quantities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sunway.arch import SW26010, SW26010PRO, TOY_ARCH, ArchSpec, MicroKernelShape
+
+
+def test_sw26010pro_defaults_match_paper():
+    arch = SW26010PRO
+    assert arch.mesh_rows == arch.mesh_cols == 8
+    assert arch.spm_bytes == 256 * 1024
+    assert str(arch.micro_kernel) == "64x64x32"
+    assert arch.rma_supported
+
+
+def test_peak_reconstruction():
+    # 64 CPEs x 2.25 GHz x 16 flops/cycle = 2304 Gflops; the paper's
+    # reported percentages are consistent with this value.
+    assert SW26010PRO.peak_gflops == pytest.approx(2304.0)
+    assert 0.9014 * SW26010PRO.peak_gflops == pytest.approx(2076.8, rel=1e-3)
+
+
+def test_micro_kernel_shape_quantities():
+    shape = MicroKernelShape(64, 64, 32)
+    assert shape.flops == 2 * 64 * 64 * 32
+    assert shape.a_bytes == 64 * 32 * 8
+    assert shape.b_bytes == 32 * 64 * 8
+    assert shape.c_bytes == 64 * 64 * 8
+
+
+def test_kernel_time_scales_with_shape():
+    t1 = SW26010PRO.kernel_time_s(64, 64, 32)
+    t2 = SW26010PRO.kernel_time_s(64, 64, 64)
+    assert t2 == pytest.approx(2 * t1)
+    assert SW26010PRO.naive_time_s(64, 64, 32) > 10 * t1
+
+
+def test_dma_and_rma_time_monotone():
+    assert SW26010PRO.dma_time_s(32768) > SW26010PRO.dma_time_s(16384)
+    assert SW26010PRO.rma_time_s(32768) > SW26010PRO.rma_time_s(16384)
+    # Startup means even empty-ish messages cost something.
+    assert SW26010PRO.dma_time_s(8) > 0
+
+
+def test_sw26010_preset_has_no_rma():
+    assert not SW26010.rma_supported
+    assert SW26010.spm_bytes == 64 * 1024
+
+
+def test_toy_arch_small():
+    assert TOY_ARCH.num_cpes == 4
+    assert str(TOY_ARCH.micro_kernel) == "8x8x4"
+
+
+def test_validation_rejects_nonsquare_mesh():
+    with pytest.raises(ConfigurationError):
+        ArchSpec(mesh_rows=8, mesh_cols=4)
+
+
+def test_validation_rejects_bad_efficiency():
+    with pytest.raises(ConfigurationError):
+        ArchSpec(kernel_efficiency=1.5)
+    with pytest.raises(ConfigurationError):
+        ArchSpec(kernel_efficiency=0.0)
+
+
+def test_scaled_override():
+    faster = SW26010PRO.scaled(dma_bandwidth_gbs=100.0)
+    assert faster.dma_bandwidth_gbs == 100.0
+    assert faster.mesh_rows == 8
+    assert SW26010PRO.dma_bandwidth_gbs != 100.0
+
+
+def test_describe():
+    info = SW26010PRO.describe()
+    assert info["mesh"] == "8x8"
+    assert info["spm_kb"] == 256

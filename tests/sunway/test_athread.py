@@ -1,0 +1,103 @@
+"""The athread runtime facade."""
+
+import numpy as np
+import pytest
+
+from repro.sunway.arch import TOY_ARCH
+from repro.sunway.athread import AthreadRuntime
+from repro.sunway.mesh import Cluster
+
+
+@pytest.fixture()
+def runtime():
+    cluster = Cluster(TOY_ARCH)
+    cluster.memory.alloc("A", (16, 16))
+    for cpe in cluster.all_cpes():
+        cpe.spm.alloc("tile", (2, 4, 4))
+    return AthreadRuntime(cluster)
+
+
+def test_dma_roundtrip_via_facade(runtime):
+    cpe = runtime.cluster.cpe(0, 0)
+    A = runtime.main_array("A")
+    A[...] = np.arange(256.0).reshape(16, 16)
+    runtime.dma_iget(cpe, ("tile", 0), "A", offset=0, size=16, length=4,
+                     strip=12, reply="r")
+    assert runtime.reply_satisfied(cpe, "r", 1)
+    runtime.finish_wait(cpe, "r", 1)
+    tile = cpe.spm.slot("tile", 0)
+    assert (tile == A[:4, :4]).all()
+    tile += 1
+    runtime.dma_iput(cpe, "A", 0, ("tile", 0), size=16, length=4,
+                     strip=12, reply="w")
+    runtime.finish_wait(cpe, "w", 1)
+    assert (A[:4, :4] == tile).all()
+
+
+def test_finish_wait_advances_clock_and_unpoisons(runtime):
+    cpe = runtime.cluster.cpe(0, 0)
+    runtime.dma_iget(cpe, ("tile", 0), "A", 0, 16, 4, 12, "r")
+    before = cpe.clock
+    runtime.finish_wait(cpe, "r", 1)
+    assert cpe.clock > before
+    cpe.spm.check_readable("tile", 0)  # no raise
+
+
+def test_rma_facade_row_and_col(runtime):
+    cluster = runtime.cluster
+    for cpe in cluster.all_cpes():
+        cpe.rma_armed = True
+    sender = cluster.cpe(0, 1)
+    sender.spm.slot("tile", 0)[...] = 5.0
+    runtime.rma_row_ibcast(
+        sender, ("tile", 0), ("tile", 1), 16, "rbcast_replys", "rbcast_replyr"
+    )
+    receiver = cluster.cpe(0, 0)
+    assert runtime.reply_satisfied(receiver, "rbcast_replyr", 1)
+    runtime.finish_wait(receiver, "rbcast_replyr", 1)
+    assert (receiver.spm.slot("tile", 1) == 5.0).all()
+    # An RMA wait disarms the launch window (§5).
+    assert not receiver.rma_armed
+
+
+def test_reply_reset(runtime):
+    cpe = runtime.cluster.cpe(1, 1)
+    runtime.dma_iget(cpe, ("tile", 0), "A", 0, 16, 4, 12, "r")
+    runtime.reply_reset(cpe, "r")
+    assert not runtime.reply_satisfied(cpe, "r", 1)
+
+
+def test_barrier_facade(runtime):
+    tokens = [
+        runtime.barrier_arrive(cpe) for cpe in runtime.cluster.all_cpes()
+    ]
+    assert all(runtime.barrier_passed(t) for t in tokens)
+
+
+def test_charge_compute_accumulates(runtime):
+    cpe = runtime.cluster.cpe(0, 0)
+    runtime.charge_compute(cpe, 1e-6)
+    runtime.charge_compute(cpe, 2e-6)
+    assert cpe.stats["compute_seconds"] == pytest.approx(3e-6)
+    assert cpe.clock == pytest.approx(3e-6)
+
+
+def test_elem_bytes_scales_timing():
+    """Half-width elements halve the channel occupancy (for runs longer
+    than the DDR burst, where no stride penalty interferes)."""
+    cluster = Cluster(TOY_ARCH)
+    cluster.memory.alloc("A", (16, 16))
+    for cpe in cluster.all_cpes():
+        cpe.spm.alloc("tile", (2, 8, 8))
+    wide = AthreadRuntime(cluster, elem_bytes=8)
+    t8 = wide.dma_iget(
+        cluster.cpe(0, 0), ("tile", 0), "A", 0, size=64, length=32,
+        strip=0, reply="a",
+    )
+    narrow = AthreadRuntime(cluster, elem_bytes=4)
+    t4_start = cluster.dma.channel_free
+    t4 = narrow.dma_iget(
+        cluster.cpe(0, 1), ("tile", 0), "A", 0, size=64, length=32,
+        strip=0, reply="b",
+    )
+    assert (t4 - t4_start) < t8
