@@ -13,6 +13,8 @@ DESIGN.md calls out the design choices worth isolating:
 
 import pytest
 
+from repro.bench.harness import cache_ablation
+from repro.bench.report import print_figure
 from repro.core.options import CompilerOptions
 from repro.core.tile_model import plan_for_kernel, score_shape, search_optimal_shape
 from repro.errors import SPMOverflowError
@@ -79,6 +81,24 @@ def test_double_buffering_value(benchmark):
         / predict_gflops(4096, 4096, 4096, CompilerOptions.with_rma())
     )
     assert 1.3 < ratio < 2.6
+
+
+def test_compile_cache_speedup():
+    """Service ablation: the same kernel sweep with the compilation cache
+    on vs off.  With the cache, each distinct key compiles exactly once
+    and every warm pass is served from memory — the wall-clock table goes
+    to the CI log so the speedup stays visible."""
+    result = cache_ablation(passes=3)
+    print_figure(
+        result, ["pass", "kernels", "cache_off_ms", "cache_on_ms", "speedup"]
+    )
+    kernels = result.aggregate["kernels"]
+    # cache off recompiles the whole sweep every pass...
+    assert result.aggregate["compiles_off"] == kernels * 3
+    # ...the service compiles each distinct key exactly once...
+    assert result.aggregate["compiles_on"] == kernels
+    # ...and warm passes beat recompilation by a wide margin.
+    assert result.aggregate["speedup_warm"] > 2.0
 
 
 def test_rma_value_grows_with_mesh_bandwidth_pressure(benchmark):

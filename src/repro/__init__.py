@@ -25,11 +25,23 @@ from repro.core import CompilerOptions, GemmCompiler, GemmSpec
 from repro.frontend import compile_c, extract_spec, parse_c
 from repro.runtime import CompiledProgram, ExecutionReport, Executor, run_gemm
 from repro.runtime.simulator import PerformanceSimulator
+from repro.service import (
+    CompileService,
+    ServiceConfig,
+    cache_key,
+    get_default_service,
+    set_default_service,
+)
 from repro.sunway import SW26010, SW26010PRO, TOY_ARCH, ArchSpec, Cluster
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CompileService",
+    "ServiceConfig",
+    "cache_key",
+    "get_default_service",
+    "set_default_service",
     "GemmCompiler",
     "GemmSpec",
     "CompilerOptions",

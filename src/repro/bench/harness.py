@@ -9,6 +9,7 @@ with the simulated swgemm numbers and the xMath model's numbers, plus an
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -158,6 +159,67 @@ def fig15_batched(
         "mean_xmath": _mean(lib_all),
         "ours_vs_xmath": _mean(ours_all) / _mean(lib_all),
         "best_ours_peak": max(ours_all) / sim.arch.peak_gflops,
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Compilation-service ablation: cache on vs cache off
+# ---------------------------------------------------------------------------
+
+
+def cache_ablation(
+    arch: ArchSpec = SW26010PRO,
+    requests=None,
+    passes: int = 2,
+) -> FigureResult:
+    """Wall-clock of the standard kernel sweep with and without the cache.
+
+    Runs the same compile sweep ``passes`` times against a caching
+    :class:`~repro.service.CompileService` and against a disabled one.
+    With the cache, every pass after the first is served entirely from
+    the in-process tier — the engineering-cost claim of §8.5 turned into
+    a serving-path property.
+    """
+    from repro.service import CompileService, ServiceConfig, standard_requests
+
+    requests = list(requests if requests is not None else standard_requests(arch))
+
+    def sweep(service: CompileService) -> List[float]:
+        times: List[float] = []
+        for _ in range(passes):
+            started = time.perf_counter()
+            for spec, request_arch, options in requests:
+                service.get_program(spec, request_arch, options)
+            times.append(time.perf_counter() - started)
+        return times
+
+    cache_off = CompileService(ServiceConfig(enabled=False))
+    off_times = sweep(cache_off)
+    cache_on = CompileService()
+    on_times = sweep(cache_on)
+
+    result = FigureResult("cache")
+    for index, (off_s, on_s) in enumerate(zip(off_times, on_times)):
+        result.rows.append(
+            {
+                "pass": "cold" if index == 0 else f"warm{index}",
+                "kernels": len(requests),
+                "cache_off_ms": off_s * 1e3,
+                "cache_on_ms": on_s * 1e3,
+                "speedup": off_s / on_s if on_s else float("inf"),
+            }
+        )
+    warm_off = sum(off_times[1:])
+    warm_on = sum(on_times[1:])
+    result.aggregate = {
+        "kernels": float(len(requests)),
+        "total_off_s": sum(off_times),
+        "total_on_s": sum(on_times),
+        "speedup_total": sum(off_times) / sum(on_times),
+        "speedup_warm": (warm_off / warm_on) if warm_on else float("inf"),
+        "compiles_off": float(cache_off.compile_count),
+        "compiles_on": float(cache_on.compile_count),
     }
     return result
 

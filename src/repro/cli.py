@@ -8,12 +8,25 @@ Mirrors the surface described in §8::
     swgemm run gemm.c -M 1024 -N 1024 -K 1024  # simulate functionally
     swgemm perf -M 4096 -N 4096 -K 4096        # timed simulation vs xMath
     swgemm tree gemm.c                         # dump the schedule tree
+
+plus the compilation-service surface::
+
+    swgemm cache stats                         # two-tier cache report
+    swgemm cache warmup                        # precompile standard kernels
+    swgemm cache clear                         # drop all artifacts
+    swgemm --no-cache perf ...                 # bypass the kernel cache
+
+Programs are obtained through :class:`repro.service.CompileService`, so
+repeated invocations reuse on-disk artifacts under ``~/.cache/swgemm``
+(override with ``$SWGEMM_CACHE_DIR`` or ``--cache-dir``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -35,12 +48,24 @@ def _load_source(path: str) -> str:
     return Path(path).read_text()
 
 
-def _build_program(args) -> "CompiledProgram":
+def _service_from_args(args) -> "CompileService":
+    from repro.service import CompileService, ServiceConfig, default_cache_dir
+
+    if getattr(args, "no_cache", False):
+        return CompileService(ServiceConfig(enabled=False))
+    cache_dir = (
+        Path(args.cache_dir) if getattr(args, "cache_dir", None) else default_cache_dir()
+    )
+    return CompileService(ServiceConfig(cache_dir=cache_dir))
+
+
+def _build_program(args, service=None) -> "CompiledProgram":
     from repro.core.options import CompilerOptions
-    from repro.frontend import compile_c
+    from repro.frontend import extract_spec
+    from repro.sunway.arch import SW26010PRO
 
     source = _load_source(args.source) if args.source else DEFAULT_GEMM_C
-    options = None
+    spec, inferred = extract_spec(source, return_options=True)
     if args.no_use_asm or args.no_rma or args.no_hiding:
         options = CompilerOptions(
             batch=args.batch,
@@ -48,7 +73,10 @@ def _build_program(args) -> "CompiledProgram":
             enable_rma=not args.no_rma,
             enable_latency_hiding=not (args.no_hiding or args.no_use_asm),
         )
-    return compile_c(source, options=options)
+    else:
+        options = inferred
+    service = service or _service_from_args(args)
+    return service.get_program(spec, SW26010PRO, options)
 
 
 def cmd_compile(args) -> int:
@@ -92,7 +120,7 @@ def cmd_perf(args) -> int:
     from repro.runtime.simulator import PerformanceSimulator
     from repro.xmath.perfmodel import xmath_gflops
 
-    sim = PerformanceSimulator()
+    sim = PerformanceSimulator(service=_service_from_args(args))
     for variant, perf in sim.breakdown(args.M, args.N, args.K).items():
         print(f"{variant:>9s}: {perf.gflops:8.1f} Gflops "
               f"({100 * perf.peak_fraction:5.1f}% of peak)")
@@ -102,11 +130,95 @@ def cmd_perf(args) -> int:
     return 0
 
 
-def main(argv=None) -> int:
+# ---------------------------------------------------------------------------
+# Cache subcommand group
+# ---------------------------------------------------------------------------
+
+
+def cmd_cache_stats(args) -> int:
+    service = _service_from_args(args)
+    report = service.stats()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    disk = report.get("disk")
+    if disk is None:
+        print("kernel cache is disabled (--no-cache)")
+        return 0
+    persistent = report.get("persistent", {})
+    print(f"cache dir : {disk['dir']}")
+    print(f"artifacts : {disk['artifacts']} ({disk['bytes'] / 1024:.1f} KiB)")
+    print("cumulative (all runs against this cache dir):")
+    for label, key in (
+        ("requests", "requests"),
+        ("memory hits", "memory_hits"),
+        ("disk hits", "disk_hits"),
+        ("compiles", "compiles"),
+        ("deduped in flight", "deduped"),
+    ):
+        print(f"  {label:>18s}: {int(persistent.get(key, 0))}")
+    seconds = float(persistent.get("compile_seconds", 0.0))
+    print(f"  {'compile seconds':>18s}: {seconds:.3f}")
+    hits = int(persistent.get("memory_hits", 0)) + int(persistent.get("disk_hits", 0))
+    print(f"  {'total cache hits':>18s}: {hits}")
+    return 0
+
+
+def cmd_cache_clear(args) -> int:
+    service = _service_from_args(args)
+    removed = service.clear()
+    if service.store is not None:
+        service.store.bump_persistent_stats({})  # reset timestamp
+    print(f"removed {removed['disk']} cached artifact(s)")
+    return 0
+
+
+def cmd_cache_warmup(args) -> int:
+    service = _service_from_args(args)
+    started = time.perf_counter()
+    rows = service.warmup(workers=args.workers)
+    elapsed = time.perf_counter() - started
+    for row in rows:
+        print(
+            f"{row['variant']:>18s}  {row['source']:>8s}  "
+            f"{row['seconds'] * 1e3:8.2f} ms  {row['key'][:12]}"
+        )
+    compiled = sum(1 for r in rows if r["source"] == "compiled")
+    print(
+        f"warmed {len(rows)} kernel(s) in {elapsed * 1e3:.1f} ms "
+        f"({compiled} compiled, {len(rows) - compiled} already cached)"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="swgemm",
         description="Automatic GEMM kernel generation for SW26010Pro "
         "(ICPP'22 reproduction on a simulated core group)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the kernel compilation cache entirely",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="artifact store location (default: $SWGEMM_CACHE_DIR "
+        "or ~/.cache/swgemm)",
+    )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="print full tracebacks instead of one-line errors",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -144,8 +256,48 @@ def main(argv=None) -> int:
         p_perf.add_argument(f"-{dim}", type=int, default=default)
     p_perf.set_defaults(func=cmd_perf)
 
+    p_cache = sub.add_parser(
+        "cache", help="inspect and manage the kernel compilation cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    p_stats = cache_sub.add_parser("stats", help="two-tier cache report")
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable report")
+    p_stats.set_defaults(func=cmd_cache_stats)
+
+    p_clear = cache_sub.add_parser("clear", help="remove all cached artifacts")
+    p_clear.set_defaults(func=cmd_cache_clear)
+
+    p_warmup = cache_sub.add_parser(
+        "warmup", help="precompile the standard kernel variants"
+    )
+    p_warmup.add_argument("--workers", type=int, default=None,
+                          help="worker threads for independent keys")
+    p_warmup.set_defaults(func=cmd_cache_warmup)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    from repro.errors import SwGemmError
+
+    parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SwGemmError as exc:
+        if args.debug:
+            raise
+        print(f"swgemm: error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        if args.debug:
+            raise
+        print(f"swgemm: error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -72,6 +72,48 @@ class CompiledProgram:
             "codegen_seconds": round(self.codegen_seconds, 6),
         }
 
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe artifact for the compilation service's disk cache."""
+        from repro.runtime import serde
+
+        return {
+            "serde_version": serde.SERDE_VERSION,
+            "spec": serde.encode(self.spec),
+            "options": serde.encode(self.options),
+            "arch": serde.encode(self.arch),
+            "plan": serde.encode(self.plan),
+            "decomposition": serde.encode(self.decomposition),
+            "cpe_program": serde.encode(self.cpe_program),
+            "codegen_seconds": self.codegen_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CompiledProgram":
+        from repro.runtime import serde
+
+        version = data.get("serde_version")
+        if version != serde.SERDE_VERSION:
+            raise serde.SerializationError(
+                f"artifact has serde version {version!r}, "
+                f"expected {serde.SERDE_VERSION}"
+            )
+        arch = serde.decode(data["arch"])
+        decomposition = serde.decode(data["decomposition"])
+        # The pipeline stores the arch on the decomposition for the
+        # lowering's kernel naming; restore the invariant after a reload.
+        decomposition.arch = arch
+        return cls(
+            spec=serde.decode(data["spec"]),
+            options=serde.decode(data["options"]),
+            arch=arch,
+            plan=serde.decode(data["plan"]),
+            decomposition=decomposition,
+            cpe_program=serde.decode(data["cpe_program"]),
+            codegen_seconds=float(data.get("codegen_seconds", 0.0)),
+        )
+
     # -- source rendering ----------------------------------------------------
 
     def cpe_source(self) -> str:

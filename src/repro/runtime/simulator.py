@@ -28,7 +28,6 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.core.options import CompilerOptions
-from repro.core.pipeline import GemmCompiler
 from repro.core.spec import GemmSpec
 from repro.runtime.executor import Executor
 from repro.runtime.program import CompiledProgram
@@ -62,9 +61,17 @@ class PerfResult:
 class PerformanceSimulator:
     """Chunk-extrapolating timed simulation."""
 
-    def __init__(self, arch: ArchSpec = SW26010PRO) -> None:
+    def __init__(
+        self, arch: ArchSpec = SW26010PRO, service: Optional[object] = None
+    ) -> None:
+        from repro.service import get_default_service
+
         self.arch = arch
-        self._programs: Dict[Tuple, CompiledProgram] = {}
+        #: Programs come from the compilation service (content-addressed
+        #: two-tier cache + single-flight dedup) rather than an ad-hoc
+        #: per-simulator dict, so every simulator in the process — and,
+        #: with a disk-backed service, every process — shares compiles.
+        self.service = service if service is not None else get_default_service()
         self._chunk_cache: Dict[Tuple, float] = {}
 
     # -- compilation cache ---------------------------------------------------
@@ -73,10 +80,7 @@ class PerformanceSimulator:
         self, options: CompilerOptions, spec: Optional[GemmSpec] = None
     ) -> CompiledProgram:
         spec = spec or self._default_spec(options)
-        key = (options, spec)
-        if key not in self._programs:
-            self._programs[key] = GemmCompiler(self.arch, options).compile(spec)
-        return self._programs[key]
+        return self.service.get_program(spec, self.arch, options)
 
     def _default_spec(self, options: CompilerOptions) -> GemmSpec:
         kwargs: Dict[str, object] = {}

@@ -1,0 +1,48 @@
+"""Content-addressed cache keys.
+
+A compiled kernel is fully determined by the ``(spec, arch, options)``
+triple — the generated code is *parametric* in M/N/K (§8.5), so shapes do
+not enter the key.  The key is the SHA-256 of the canonical JSON encoding
+of that triple plus a schema version, which makes it stable across
+processes and hosts: two workers asked for the same kernel derive the
+same key and can share one artifact store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+from repro.core.options import CompilerOptions
+from repro.core.spec import GemmSpec
+from repro.runtime import serde
+from repro.sunway.arch import SW26010PRO, ArchSpec
+
+#: Bumped when the key derivation or compiler output shape changes in a
+#: way that must invalidate existing artifacts.
+CACHE_SCHEMA_VERSION = 1
+
+
+def canonical_blob(obj: object) -> str:
+    """Deterministic JSON text of any serde-encodable object."""
+    return json.dumps(
+        serde.encode(obj), sort_keys=True, separators=(",", ":")
+    )
+
+
+def cache_key(
+    spec: GemmSpec,
+    arch: Optional[ArchSpec] = None,
+    options: Optional[CompilerOptions] = None,
+) -> str:
+    """Stable hex digest addressing one compiled kernel."""
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "serde": serde.SERDE_VERSION,
+        "spec": canonical_blob(spec),
+        "arch": canonical_blob(arch or SW26010PRO),
+        "options": canonical_blob(options or CompilerOptions()),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -1,0 +1,318 @@
+"""The kernel compilation service.
+
+``CompileService`` fronts :class:`~repro.core.pipeline.GemmCompiler`
+with the two-tier cache production tensor compilers ship for exactly
+this workload (swTVM, the TVM GEMM generator family): an in-process LRU
+for the hot path and an on-disk artifact store shared across processes.
+Lookups are *single-flight*: concurrent requests for the same
+content-addressed key block on the one in-progress compilation instead
+of compiling N times, while requests for distinct keys proceed in
+parallel (``warmup`` fans a shape set out over a worker pool).
+
+Every program consumer in the repo goes through a service —
+:class:`~repro.runtime.simulator.PerformanceSimulator`, the bench
+harness, and the CLI — so a sweep that touches dozens of near-identical
+kernels compiles each distinct ``(spec, arch, options)`` triple once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.options import CompilerOptions
+from repro.core.pipeline import GemmCompiler
+from repro.core.spec import GemmSpec
+from repro.runtime.program import CompiledProgram
+from repro.service.cache import LRUCache
+from repro.service.keys import cache_key
+from repro.service.store import ArtifactStore
+from repro.sunway.arch import SW26010PRO, ArchSpec
+
+#: One compilation request: the content-addressed triple.
+Request = Tuple[GemmSpec, ArchSpec, CompilerOptions]
+
+CompileFn = Callable[[GemmSpec, ArchSpec, CompilerOptions], CompiledProgram]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of one :class:`CompileService`."""
+
+    #: Hot-tier capacity (distinct kernels held in process memory).
+    memory_capacity: int = 64
+    #: Warm-tier directory; ``None`` disables disk persistence.
+    cache_dir: Optional[Path] = None
+    #: ``False`` bypasses both tiers (the CLI's ``--no-cache``).
+    enabled: bool = True
+    #: Worker threads used by :meth:`CompileService.warmup`.
+    workers: int = 4
+
+
+@dataclass
+class _Inflight:
+    """Single-flight rendezvous for one key."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+    program: Optional[CompiledProgram] = None
+    error: Optional[BaseException] = None
+    waiters: int = 0
+
+
+def _default_compile(
+    spec: GemmSpec, arch: ArchSpec, options: CompilerOptions
+) -> CompiledProgram:
+    return GemmCompiler(arch, options).compile(spec)
+
+
+class CompileService:
+    """Content-addressed, single-flight kernel compilation."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        compile_fn: Optional[CompileFn] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._compile = compile_fn or _default_compile
+        self._memory: LRUCache[CompiledProgram] = LRUCache(
+            self.config.memory_capacity
+        )
+        self._store = (
+            ArtifactStore(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, _Inflight] = {}
+        self.requests = 0
+        self.bypassed = 0
+        self.deduped = 0
+        self.compile_count = 0
+        self.compile_seconds_total = 0.0
+        self.compile_seconds_max = 0.0
+
+    # -- public API ---------------------------------------------------------
+
+    def key_for(
+        self,
+        spec: GemmSpec,
+        arch: Optional[ArchSpec] = None,
+        options: Optional[CompilerOptions] = None,
+    ) -> str:
+        return cache_key(spec, arch or SW26010PRO, options or CompilerOptions())
+
+    def get_program(
+        self,
+        spec: GemmSpec,
+        arch: Optional[ArchSpec] = None,
+        options: Optional[CompilerOptions] = None,
+    ) -> CompiledProgram:
+        """The cached compile: memory → disk → single-flight compile."""
+        return self._get(spec, arch or SW26010PRO, options or CompilerOptions())[0]
+
+    def warmup(
+        self,
+        requests: Optional[Sequence[Request]] = None,
+        workers: Optional[int] = None,
+    ) -> List[Dict[str, object]]:
+        """Precompile a request set over a worker pool.
+
+        Returns one row per request: key, variant, where the program came
+        from (``memory``/``disk``/``compiled``) and the wall time spent.
+        """
+        requests = list(requests if requests is not None else standard_requests())
+        workers = max(1, workers or self.config.workers)
+        rows: List[Dict[str, object]] = []
+
+        def one(request: Request) -> Dict[str, object]:
+            spec, arch, options = request
+            started = time.perf_counter()
+            _, source = self._get(spec, arch, options)
+            return {
+                "key": self.key_for(spec, arch, options),
+                "variant": options.variant_name()
+                + (f"+{options.fusion}" if options.fusion != "none" else "")
+                + ("+batch" if spec.is_batched else ""),
+                "batched": spec.is_batched,
+                "source": source,
+                "seconds": time.perf_counter() - started,
+            }
+
+        if workers == 1 or len(requests) <= 1:
+            rows = [one(r) for r in requests]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                rows = list(pool.map(one, requests))
+        return rows
+
+    def clear(self) -> Dict[str, int]:
+        """Drop both tiers; returns how many entries each held."""
+        with self._lock:
+            memory = self._memory.clear()
+        disk = self._store.clear() if self._store else 0
+        return {"memory": memory, "disk": disk}
+
+    def stats(self) -> Dict[str, object]:
+        """Structured report over both tiers and compile latencies."""
+        with self._lock:
+            count = self.compile_count
+            report: Dict[str, object] = {
+                "enabled": self.config.enabled,
+                "requests": self.requests,
+                "bypassed": self.bypassed,
+                "single_flight_deduped": self.deduped,
+                "memory": self._memory.stats(),
+                "compiles": {
+                    "count": count,
+                    "total_seconds": self.compile_seconds_total,
+                    "mean_ms": (
+                        1e3 * self.compile_seconds_total / count if count else 0.0
+                    ),
+                    "max_ms": 1e3 * self.compile_seconds_max,
+                },
+            }
+        if self._store is not None:
+            report["disk"] = self._store.stats()
+            report["persistent"] = self._store.load_persistent_stats()
+        return report
+
+    @property
+    def store(self) -> Optional[ArtifactStore]:
+        return self._store
+
+    # -- internals -----------------------------------------------------------
+
+    def _get(
+        self, spec: GemmSpec, arch: ArchSpec, options: CompilerOptions
+    ) -> Tuple[CompiledProgram, str]:
+        with self._lock:
+            self.requests += 1
+        if not self.config.enabled:
+            with self._lock:
+                self.bypassed += 1
+            program, _ = self._compile_timed(spec, arch, options)
+            return program, "compiled"
+
+        key = cache_key(spec, arch, options)
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._flush_persistent({"requests": 1, "memory_hits": 1})
+                return cached, "memory"
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Inflight()
+                self._inflight[key] = flight
+                owner = True
+            else:
+                flight.waiters += 1
+                self.deduped += 1
+                owner = False
+
+        if not owner:
+            flight.done.wait()
+            self._flush_persistent({"requests": 1, "deduped": 1})
+            if flight.error is not None:
+                raise flight.error
+            assert flight.program is not None
+            return flight.program, "deduped"
+
+        source = "compiled"
+        try:
+            program = self._store.get(key) if self._store else None
+            if program is not None:
+                source = "disk"
+                self._flush_persistent({"requests": 1, "disk_hits": 1})
+            else:
+                program, elapsed = self._compile_timed(spec, arch, options)
+                if self._store is not None:
+                    self._store.put(key, program)
+                self._flush_persistent(
+                    {"requests": 1, "compiles": 1, "compile_seconds": elapsed}
+                )
+        except BaseException as exc:
+            with self._lock:
+                del self._inflight[key]
+            flight.error = exc
+            flight.done.set()
+            raise
+        with self._lock:
+            self._memory.put(key, program)
+            del self._inflight[key]
+        flight.program = program
+        flight.done.set()
+        return program, source
+
+    def _compile_timed(
+        self, spec: GemmSpec, arch: ArchSpec, options: CompilerOptions
+    ) -> Tuple[CompiledProgram, float]:
+        started = time.perf_counter()
+        program = self._compile(spec, arch, options)
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self.compile_count += 1
+            self.compile_seconds_total += elapsed
+            self.compile_seconds_max = max(self.compile_seconds_max, elapsed)
+        return program, elapsed
+
+    def _flush_persistent(self, deltas: Dict[str, float]) -> None:
+        if self._store is not None:
+            self._store.bump_persistent_stats(deltas)
+
+
+# ---------------------------------------------------------------------------
+# Standard warmup set and the shared default service
+# ---------------------------------------------------------------------------
+
+
+def standard_requests(arch: Optional[ArchSpec] = None) -> List[Request]:
+    """The kernels a production deployment serves constantly: the four
+    §8.1 breakdown variants, batched GEMM, and both fusion patterns."""
+    arch = arch or SW26010PRO
+    requests: List[Request] = [
+        (GemmSpec(), arch, CompilerOptions.baseline()),
+        (GemmSpec(), arch, CompilerOptions.with_asm()),
+        (GemmSpec(), arch, CompilerOptions.with_rma()),
+        (GemmSpec(), arch, CompilerOptions.full()),
+        (
+            GemmSpec(batch_param="BS"),
+            arch,
+            CompilerOptions.full().with_(batch=True),
+        ),
+        (
+            GemmSpec(prologue_func="quant"),
+            arch,
+            CompilerOptions.full().with_(fusion="prologue", prologue_func="quant"),
+        ),
+        (
+            GemmSpec(epilogue_func="sigmoid"),
+            arch,
+            CompilerOptions.full().with_(fusion="epilogue", epilogue_func="sigmoid"),
+        ),
+    ]
+    return requests
+
+
+_default_service: Optional[CompileService] = None
+_default_lock = threading.Lock()
+
+
+def get_default_service() -> CompileService:
+    """The process-wide memory-only service library callers share."""
+    global _default_service
+    with _default_lock:
+        if _default_service is None:
+            _default_service = CompileService()
+        return _default_service
+
+
+def set_default_service(service: Optional[CompileService]) -> None:
+    """Replace (or with ``None`` reset) the shared default service."""
+    global _default_service
+    with _default_lock:
+        _default_service = service

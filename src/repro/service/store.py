@@ -1,0 +1,149 @@
+"""On-disk artifact store (the warm tier).
+
+One JSON file per content-addressed key under a cache directory, written
+atomically (temp file + rename) so concurrent writers — several CLI
+invocations, a warmup fleet — can share the directory without torn
+artifacts.  Corrupt or version-skewed artifacts are treated as misses
+and removed.
+
+The store also keeps cumulative service counters in ``stats.json`` so a
+later ``swgemm cache stats`` invocation can report the hits a previous
+``swgemm perf`` run produced — per-process counters alone would vanish
+with the process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.runtime.program import CompiledProgram
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "SWGEMM_CACHE_DIR"
+
+_STATS_FILE = "stats.json"
+_SUFFIX = ".json"
+
+
+def default_cache_dir() -> Path:
+    """``$SWGEMM_CACHE_DIR`` or ``~/.cache/swgemm``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "swgemm"
+
+
+class ArtifactStore:
+    """Directory of serialized :class:`CompiledProgram` artifacts."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.writes = 0
+
+    # -- artifact files ----------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}{_SUFFIX}"
+
+    def get(self, key: str) -> Optional[CompiledProgram]:
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+            program = CompiledProgram.from_dict(data["program"])
+        except FileNotFoundError:
+            self.disk_misses += 1
+            return None
+        except Exception:
+            # Corrupt, truncated or version-skewed artifact: drop it and
+            # let the caller recompile.
+            path.unlink(missing_ok=True)
+            self.disk_misses += 1
+            return None
+        self.disk_hits += 1
+        return program
+
+    def put(self, key: str, program: CompiledProgram) -> Path:
+        payload = {
+            "key": key,
+            "created": time.time(),
+            "codegen_seconds": program.codegen_seconds,
+            "variant": program.options.variant_name(),
+            "program": program.to_dict(),
+        }
+        path = self.path_for(key)
+        self._atomic_write(path, json.dumps(payload))
+        self.writes += 1
+        return path
+
+    def keys(self) -> List[str]:
+        return sorted(
+            p.stem for p in self.root.glob(f"*{_SUFFIX}") if p.name != _STATS_FILE
+        )
+
+    def total_bytes(self) -> int:
+        return sum(
+            p.stat().st_size
+            for p in self.root.glob(f"*{_SUFFIX}")
+            if p.name != _STATS_FILE
+        )
+
+    def clear(self) -> int:
+        """Remove every artifact and the persistent counters."""
+        removed = 0
+        for p in self.root.glob(f"*{_SUFFIX}"):
+            p.unlink(missing_ok=True)
+            if p.name != _STATS_FILE:
+                removed += 1
+        return removed
+
+    # -- persistent counters ------------------------------------------------
+
+    def load_persistent_stats(self) -> Dict[str, float]:
+        try:
+            data = json.loads((self.root / _STATS_FILE).read_text())
+            return data if isinstance(data, dict) else {}
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {}
+
+    def bump_persistent_stats(self, deltas: Dict[str, float]) -> Dict[str, float]:
+        """Merge counter deltas into ``stats.json`` (load-modify-rename)."""
+        totals = self.load_persistent_stats()
+        for name, delta in deltas.items():
+            if delta:
+                totals[name] = totals.get(name, 0) + delta
+        totals["updated"] = time.time()
+        self._atomic_write(self.root / _STATS_FILE, json.dumps(totals, sort_keys=True))
+        return totals
+
+    # -- helpers -----------------------------------------------------------
+
+    def _atomic_write(self, path: Path, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "dir": str(self.root),
+            "artifacts": len(self.keys()),
+            "bytes": self.total_bytes(),
+            "hits": self.disk_hits,
+            "misses": self.disk_misses,
+            "writes": self.writes,
+        }

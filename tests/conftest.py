@@ -7,11 +7,31 @@ integration tests exercise the real SW26010Pro geometry.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import CompilerOptions, GemmCompiler, GemmSpec
 from repro.sunway.arch import SW26010PRO, TOY_ARCH
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_kernel_cache(tmp_path_factory):
+    """Point the compilation service's disk tier at a temp dir so the
+    suite never touches ~/.cache, and start from a fresh default service."""
+    from repro.service import set_default_service
+    from repro.service.store import CACHE_DIR_ENV
+
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(tmp_path_factory.mktemp("swgemm-cache"))
+    set_default_service(None)
+    yield
+    set_default_service(None)
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
 
 
 VARIANTS = {

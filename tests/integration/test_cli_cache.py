@@ -1,0 +1,118 @@
+"""CLI surface of the compilation service: cache subcommands, --version,
+--no-cache, and exit-code discipline."""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.cli import main
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return str(tmp_path / "kernel-cache")
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_missing_source_exits_1(capsys, tmp_path):
+    code = main(["compile", str(tmp_path / "nope.c"), "-o", str(tmp_path)])
+    assert code == 1
+    assert "swgemm: error:" in capsys.readouterr().err
+
+
+def test_compiler_error_exits_1(capsys, tmp_path):
+    bad = tmp_path / "bad.c"
+    bad.write_text("void gemm(void) { }")
+    code = main(["compile", str(bad), "-o", str(tmp_path / "out")])
+    assert code == 1
+    assert "swgemm: error:" in capsys.readouterr().err
+
+
+def test_debug_flag_reraises(tmp_path):
+    from repro.errors import SwGemmError
+
+    bad = tmp_path / "bad.c"
+    bad.write_text("void gemm(void) { }")
+    with pytest.raises(SwGemmError):
+        main(["--debug", "compile", str(bad), "-o", str(tmp_path / "out")])
+
+
+def test_stats_on_empty_cache(capsys, cache_dir):
+    assert main(["--cache-dir", cache_dir, "cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "artifacts : 0" in out
+
+
+def test_perf_then_stats_reports_hits(capsys, cache_dir):
+    """The acceptance flow: a perf run populates the cache; a separate
+    `cache stats` invocation reports at least one hit."""
+    assert main(["--cache-dir", cache_dir, "perf",
+                 "-M", "512", "-N", "512", "-K", "1024"]) == 0
+    capsys.readouterr()
+    assert main(["--cache-dir", cache_dir, "cache", "stats", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    persistent = report["persistent"]
+    assert persistent["compiles"] >= 4  # the four §8.1 variants
+    assert persistent["memory_hits"] >= 1
+    assert report["disk"]["artifacts"] >= 4
+
+
+def test_second_perf_run_serves_from_disk(capsys, cache_dir):
+    args = ["-M", "512", "-N", "512", "-K", "1024"]
+    assert main(["--cache-dir", cache_dir, "perf"] + args) == 0
+    capsys.readouterr()
+    assert main(["--cache-dir", cache_dir, "perf"] + args) == 0
+    capsys.readouterr()
+    assert main(["--cache-dir", cache_dir, "cache", "stats", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    # The second run compiled nothing: same compile count, more hits.
+    assert report["persistent"]["compiles"] == 4
+    assert report["persistent"]["disk_hits"] >= 4
+
+
+def test_warmup_then_clear(capsys, cache_dir):
+    assert main(["--cache-dir", cache_dir, "cache", "warmup",
+                 "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "compiled" in out
+    assert "warmed 7 kernel(s)" in out
+
+    assert main(["--cache-dir", cache_dir, "cache", "clear"]) == 0
+    assert "removed 7 cached artifact(s)" in capsys.readouterr().out
+
+    assert main(["--cache-dir", cache_dir, "cache", "stats"]) == 0
+    assert "artifacts : 0" in capsys.readouterr().out
+
+
+def test_no_cache_writes_nothing(capsys, cache_dir, tmp_path):
+    out = tmp_path / "out"
+    assert main(["--no-cache", "--cache-dir", cache_dir,
+                 "compile", "-o", str(out)]) == 0
+    assert (out / "gemm_cpe.c").exists()
+    capsys.readouterr()
+    assert main(["--cache-dir", cache_dir, "cache", "stats"]) == 0
+    assert "artifacts : 0" in capsys.readouterr().out
+
+
+def test_compile_twice_hits_disk(capsys, cache_dir, tmp_path):
+    for attempt in ("one", "two"):
+        out = tmp_path / attempt
+        assert main(["--cache-dir", cache_dir,
+                     "compile", "-o", str(out)]) == 0
+        assert (out / "gemm_cpe.c").exists()
+    capsys.readouterr()
+    assert main(["--cache-dir", cache_dir, "cache", "stats", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["persistent"]["compiles"] == 1
+    assert report["persistent"]["disk_hits"] == 1
+    # Byte-identical output from the cached artifact.
+    assert (tmp_path / "one" / "gemm_cpe.c").read_text() == (
+        tmp_path / "two" / "gemm_cpe.c"
+    ).read_text()

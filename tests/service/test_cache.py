@@ -1,0 +1,57 @@
+"""Hot-tier LRU semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.cache import LRUCache
+
+
+def test_eviction_is_lru_ordered():
+    cache = LRUCache(capacity=3)
+    for k in "abc":
+        cache.put(k, k.upper())
+    # Touch "a": it becomes most-recent, so "b" is now the LRU victim.
+    assert cache.get("a") == "A"
+    cache.put("d", "D")
+    assert cache.get("b") is None
+    assert cache.get("a") == "A"
+    assert cache.keys()[-1] == "a" or "d" in cache.keys()
+    assert set(cache.keys()) == {"a", "c", "d"}
+
+
+def test_counters():
+    cache = LRUCache(capacity=2)
+    cache.put("x", 1)
+    assert cache.get("x") == 1
+    assert cache.get("missing") is None
+    cache.put("y", 2)
+    cache.put("z", 3)  # evicts "x"
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["evictions"] == 1
+    assert stats["size"] == 2
+    assert stats["capacity"] == 2
+
+
+def test_put_refreshes_recency():
+    cache = LRUCache(capacity=2)
+    cache.put("x", 1)
+    cache.put("y", 2)
+    cache.put("x", 10)  # rewrite: "x" becomes most recent
+    cache.put("z", 3)  # evicts "y", not "x"
+    assert cache.get("x") == 10
+    assert cache.get("y") is None
+
+
+def test_clear_reports_dropped_count():
+    cache = LRUCache(capacity=4)
+    for k in "abc":
+        cache.put(k, k)
+    assert cache.clear() == 3
+    assert cache.keys() == []
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        LRUCache(capacity=0)

@@ -1,0 +1,64 @@
+"""Content-addressed cache keys: stability and sensitivity."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core import CompilerOptions, GemmSpec
+from repro.service.keys import cache_key
+from repro.sunway.arch import SW26010, SW26010PRO, TOY_ARCH
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def test_key_is_hex_sha256():
+    key = cache_key(GemmSpec())
+    assert len(key) == 64
+    assert int(key, 16) >= 0
+
+
+def test_key_deterministic_in_process():
+    a = cache_key(GemmSpec(), SW26010PRO, CompilerOptions.full())
+    b = cache_key(GemmSpec(), SW26010PRO, CompilerOptions.full())
+    assert a == b
+
+
+def test_key_stable_across_processes():
+    """The same triple hashed in a fresh interpreter yields the same key —
+    no id()s, dict ordering, or per-process salt leak into the digest."""
+    snippet = (
+        "from repro.core import CompilerOptions, GemmSpec\n"
+        "from repro.service.keys import cache_key\n"
+        "from repro.sunway.arch import SW26010PRO\n"
+        "print(cache_key(GemmSpec(), SW26010PRO, CompilerOptions.full()))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", snippet],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": SRC, "PYTHONHASHSEED": "random"},
+    )
+    assert out.stdout.strip() == cache_key(
+        GemmSpec(), SW26010PRO, CompilerOptions.full()
+    )
+
+
+def test_key_sensitive_to_each_input():
+    base = cache_key(GemmSpec(), SW26010PRO, CompilerOptions.full())
+    assert cache_key(GemmSpec(trans_a=True), SW26010PRO,
+                     CompilerOptions.full()) != base
+    assert cache_key(GemmSpec(), TOY_ARCH, CompilerOptions.full()) != base
+    assert cache_key(GemmSpec(), SW26010, CompilerOptions.full()) != base
+    assert cache_key(GemmSpec(), SW26010PRO,
+                     CompilerOptions.baseline()) != base
+
+
+def test_key_ignores_problem_shape():
+    """Generated kernels are parametric in M/N/K (§8.5): specs that differ
+    only in parameter *names* still differ, but there is no shape in the
+    spec at all — the same spec covers every problem size."""
+    assert cache_key(GemmSpec()) == cache_key(
+        GemmSpec(m_param="M", n_param="N", k_param="K")
+    )
+    assert cache_key(GemmSpec(m_param="Rows")) != cache_key(GemmSpec())
