@@ -22,6 +22,7 @@ Quick start::
 """
 
 from repro.core import CompilerOptions, GemmCompiler, GemmSpec
+from repro.faults import FaultInjector, FaultPolicy, RetryPolicy, tile_checksum
 from repro.frontend import compile_c, extract_spec, parse_c
 from repro.runtime import CompiledProgram, ExecutionReport, Executor, run_gemm
 from repro.runtime.simulator import PerformanceSimulator
@@ -53,6 +54,10 @@ __all__ = [
     "ExecutionReport",
     "run_gemm",
     "PerformanceSimulator",
+    "FaultPolicy",
+    "RetryPolicy",
+    "FaultInjector",
+    "tile_checksum",
     "ArchSpec",
     "Cluster",
     "SW26010PRO",

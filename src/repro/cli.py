@@ -48,6 +48,21 @@ def _load_source(path: str) -> str:
     return Path(path).read_text()
 
 
+def _fault_policies_from_args(args):
+    """``(FaultPolicy, RetryPolicy)`` from the global chaos flags, or
+    ``(None, None)`` when fault injection is off."""
+    from repro.faults import FaultPolicy, RetryPolicy
+
+    if not getattr(args, "inject_faults", False):
+        return None, None
+    policy = FaultPolicy.chaos(
+        seed=getattr(args, "fault_seed", 0),
+        rate=getattr(args, "fault_rate", 0.05),
+    )
+    retry = RetryPolicy(max_retries=getattr(args, "max_retries", 3))
+    return policy, retry
+
+
 def _service_from_args(args) -> "CompileService":
     from repro.service import CompileService, ServiceConfig, default_cache_dir
 
@@ -75,6 +90,11 @@ def _build_program(args, service=None) -> "CompiledProgram":
         )
     else:
         options = inferred
+    fault_policy, retry_policy = _fault_policies_from_args(args)
+    if fault_policy is not None:
+        options = options.with_(
+            fault_policy=fault_policy, retry_policy=retry_policy
+        )
     service = service or _service_from_args(args)
     return service.get_program(spec, SW26010PRO, options)
 
@@ -113,6 +133,16 @@ def cmd_run(args) -> int:
         f"simulated time {report.elapsed_seconds * 1e3:.3f} ms "
         f"({report.gflops:.1f} Gflops of useful work)"
     )
+    if getattr(args, "inject_faults", False):
+        stats = report.stats
+        retries = int(stats.get("dma_retries", 0)) + int(stats.get("rma_retries", 0))
+        print(
+            f"fault plane: seed {args.fault_seed}, rate {args.fault_rate}; "
+            f"{retries} transfer retries "
+            f"({int(stats.get('dma_retries', 0))} DMA, "
+            f"{int(stats.get('rma_retries', 0))} RMA), "
+            f"{int(stats.get('lost_replies', 0))} lost replies"
+        )
     return 0 if error < 1e-8 else 1
 
 
@@ -121,7 +151,12 @@ def cmd_perf(args) -> int:
     from repro.xmath.perfmodel import xmath_gflops
 
     sim = PerformanceSimulator(service=_service_from_args(args))
-    for variant, perf in sim.breakdown(args.M, args.N, args.K).items():
+    fault_policy, retry_policy = _fault_policies_from_args(args)
+    breakdown = sim.breakdown(
+        args.M, args.N, args.K,
+        fault_policy=fault_policy, retry_policy=retry_policy,
+    )
+    for variant, perf in breakdown.items():
         print(f"{variant:>9s}: {perf.gflops:8.1f} Gflops "
               f"({100 * perf.peak_fraction:5.1f}% of peak)")
     lib = xmath_gflops(args.M, args.N, args.K, sim.arch)
@@ -155,8 +190,12 @@ def cmd_cache_stats(args) -> int:
         ("disk hits", "disk_hits"),
         ("compiles", "compiles"),
         ("deduped in flight", "deduped"),
+        ("quarantined", "quarantined"),
     ):
         print(f"  {label:>18s}: {int(persistent.get(key, 0))}")
+    qfiles = int(disk.get("quarantine_files", 0))
+    if qfiles:
+        print(f"  {'in quarantine dir':>18s}: {qfiles}")
     seconds = float(persistent.get("compile_seconds", 0.0))
     print(f"  {'compile seconds':>18s}: {seconds:.3f}")
     hits = int(persistent.get("memory_hits", 0)) + int(persistent.get("disk_hits", 0))
@@ -219,6 +258,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--debug", action="store_true",
         help="print full tracebacks instead of one-line errors",
+    )
+    parser.add_argument(
+        "--inject-faults", action="store_true",
+        help="enable the deterministic fault-injection plane (chaos preset)",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.05, metavar="P",
+        help="per-transfer fault probability under --inject-faults "
+        "(default: 0.05)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, metavar="SEED",
+        help="seed of the deterministic fault streams (default: 0)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="retry budget per transfer before a TransientFaultError "
+        "(default: 3)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -12,9 +12,10 @@ green bars — and the fusion modes of §7.3.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.faults import FaultPolicy, RetryPolicy
 
 FUSION_MODES = ("none", "prologue", "epilogue")
 
@@ -44,6 +45,13 @@ class CompilerOptions:
     prologue_func: str = "quant"
     #: Element-wise function used by the fused epilogue.
     epilogue_func: str = "relu"
+    #: Fault-injection plane threaded through every entry point that
+    #: consumes this option set (``--inject-faults`` / ``--fault-seed``).
+    #: Runtime-only: excluded from cache keys, see
+    #: :func:`repro.service.keys.cache_key`.
+    fault_policy: Optional[FaultPolicy] = None
+    #: Recovery behaviour for transient faults (``--max-retries``).
+    retry_policy: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.fusion not in FUSION_MODES:

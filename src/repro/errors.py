@@ -118,6 +118,21 @@ class MeshError(HardwareError):
     """Raised for invalid CPE-mesh coordinates or spawn misuse."""
 
 
+class TransientFaultError(HardwareError):
+    """Raised when an injected transient transfer fault survives every
+    retry the :class:`repro.faults.RetryPolicy` allows."""
+
+
+class DataIntegrityError(HardwareError):
+    """Raised when an end-to-end tile checksum mismatch cannot be
+    repaired by re-copying (see :mod:`repro.faults`)."""
+
+
+class RankFailureError(SwGemmError):
+    """Raised by the multi-cluster driver when rank failures cannot be
+    recovered from (e.g. every rank of the grid is dead)."""
+
+
 # ---------------------------------------------------------------------------
 # Compiler driver / runtime
 # ---------------------------------------------------------------------------

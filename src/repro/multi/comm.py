@@ -18,11 +18,12 @@ for the block-decomposed GEMM whose messages are large panels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TransientFaultError
+from repro.faults import FaultInjector, FaultPolicy, RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -51,13 +52,30 @@ class NetworkSpec:
 class SimComm:
     """An MPI_COMM_WORLD over ``size`` simulated core groups."""
 
-    def __init__(self, size: int, network: Optional[NetworkSpec] = None) -> None:
+    def __init__(
+        self,
+        size: int,
+        network: Optional[NetworkSpec] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         if size <= 0:
             raise ConfigurationError("communicator size must be positive")
         self.size = size
         self.network = network or NetworkSpec()
         self.clocks = [0.0] * size
-        self.stats: Dict[str, float] = {"messages": 0, "bytes": 0}
+        self.stats: Dict[str, float] = {"messages": 0, "bytes": 0, "retries": 0}
+        self.fault_policy = fault_policy or FaultPolicy()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.injector: Optional[FaultInjector] = None
+        #: ranks that have failed permanently; collectives skip them and
+        #: the driver reassigns their work (degraded mode)
+        self.dead: Set[int] = set()
+        if self.fault_policy.enabled:
+            self.injector = FaultInjector(self.fault_policy).fork("comm")
+            for rank in self.fault_policy.dead_ranks:
+                if 0 <= rank < size:
+                    self.dead.add(rank)
 
     # -- helpers -----------------------------------------------------------
 
@@ -71,11 +89,46 @@ class SimComm:
         if not 0 <= rank < self.size:
             raise ConfigurationError(f"rank {rank} outside communicator of {self.size}")
 
+    def mark_dead(self, rank: int) -> None:
+        """Declare a rank permanently failed; its clock stops advancing."""
+        self._check_rank(rank)
+        self.dead.add(rank)
+
+    def alive_ranks(self) -> List[int]:
+        return [rank for rank in range(self.size) if rank not in self.dead]
+
     def _charge(self, src: int, dst: int, nbytes: int) -> None:
+        if src in self.dead or dst in self.dead:
+            # A transfer with a failed endpoint never happens: the driver
+            # is responsible for routing around dead ranks.
+            return
         cost = self.network.link_time_s(nbytes, self._same_chip(src, dst))
-        ready = max(self.clocks[src], self.clocks[dst]) + cost
-        self.clocks[src] = ready
-        self.clocks[dst] = ready
+        attempts = 0
+        while True:
+            if self.injector is not None:
+                cost_this = cost * self.injector.latency_factor("comm")
+            else:
+                cost_this = cost
+            ready = max(self.clocks[src], self.clocks[dst]) + cost_this
+            self.clocks[src] = ready
+            self.clocks[dst] = ready
+            if not (self.injector is not None
+                    and self.injector.transfer_fault("comm")):
+                break
+            # Transient link fault: the attempt's time is already spent on
+            # both clocks; add backoff and resend.
+            attempts += 1
+            self.stats["retries"] += 1
+            if attempts > self.retry_policy.max_retries:
+                raise TransientFaultError(
+                    f"inter-cluster transfer {src}->{dst} ({nbytes} bytes) "
+                    f"failed {attempts} attempt(s); retry budget of "
+                    f"{self.retry_policy.max_retries} exhausted (injected "
+                    f"comm faults, seed {self.fault_policy.seed})"
+                )
+            backoff = self.retry_policy.backoff(attempts - 1)
+            self.clocks[src] += backoff
+            self.clocks[dst] += backoff
         self.stats["messages"] += 1
         self.stats["bytes"] += nbytes
 
@@ -85,7 +138,8 @@ class SimComm:
         self.clocks[rank] += seconds
 
     def elapsed(self) -> float:
-        return max(self.clocks)
+        alive = self.alive_ranks()
+        return max(self.clocks[r] for r in alive) if alive else max(self.clocks)
 
     # -- collectives (mpi4py-style lower-case object API) ----------------------
 
@@ -133,5 +187,9 @@ class SimComm:
         return [list(gathered) for _ in range(self.size)]
 
     def barrier(self) -> None:
-        release = max(self.clocks)
-        self.clocks = [release] * self.size
+        alive = self.alive_ranks()
+        if not alive:
+            return
+        release = max(self.clocks[rank] for rank in alive)
+        for rank in alive:
+            self.clocks[rank] = release

@@ -20,10 +20,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RankFailureError
 from repro.core.options import CompilerOptions
 from repro.core.pipeline import GemmCompiler
 from repro.core.spec import GemmSpec
+from repro.faults import FaultPolicy, RetryPolicy
 from repro.multi.comm import NetworkSpec, SimComm
 from repro.runtime.executor import run_gemm
 from repro.runtime.simulator import PerformanceSimulator
@@ -40,10 +41,31 @@ class MultiGemmReport:
     compute_seconds: float
     comm_seconds: float
     per_rank_gflops: List[float] = field(default_factory=list)
+    #: ranks that failed before/during the run (fault plane's dead ranks)
+    failed_ranks: Tuple[int, ...] = ()
+    #: block reassignments performed: failed rank -> healthy replacement
+    reassigned: Dict[int, int] = field(default_factory=dict)
 
     @property
     def comm_fraction(self) -> float:
         return self.comm_seconds / self.seconds if self.seconds else 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run completed by routing around failed ranks."""
+        return bool(self.failed_ranks)
+
+    def degraded_summary(self) -> str:
+        if not self.degraded:
+            return "all ranks healthy"
+        moves = ", ".join(
+            f"rank {dead}->rank {repl}" for dead, repl in sorted(self.reassigned.items())
+        )
+        return (
+            f"degraded: {len(self.failed_ranks)} of "
+            f"{self.grid[0] * self.grid[1]} ranks failed "
+            f"({sorted(self.failed_ranks)}); blocks reassigned {moves}"
+        )
 
 
 class MultiClusterGemm:
@@ -55,6 +77,8 @@ class MultiClusterGemm:
         arch: ArchSpec = SW26010PRO,
         options: Optional[CompilerOptions] = None,
         network: Optional[NetworkSpec] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         pr, pc = grid
         if pr <= 0 or pc <= 0:
@@ -62,9 +86,41 @@ class MultiClusterGemm:
         self.grid = (pr, pc)
         self.arch = arch
         self.options = options or CompilerOptions.full()
-        self.comm = SimComm(pr * pc, network)
+        #: the fault plane rides on the options unless given explicitly
+        self.fault_policy = (
+            fault_policy if fault_policy is not None
+            else (self.options.fault_policy or FaultPolicy())
+        )
+        self.retry_policy = (
+            retry_policy if retry_policy is not None
+            else (self.options.retry_policy or RetryPolicy())
+        )
+        self.comm = SimComm(
+            pr * pc, network,
+            fault_policy=self.fault_policy, retry_policy=self.retry_policy,
+        )
         self.program = GemmCompiler(arch, self.options).compile(GemmSpec())
         self._simulator = PerformanceSimulator(arch)
+
+    def _straggler_factor(self, rank: int) -> float:
+        if (self.fault_policy.enabled
+                and rank in self.fault_policy.straggler_ranks):
+            return self.fault_policy.straggler_factor
+        return 1.0
+
+    def _replacements(self) -> Dict[int, int]:
+        """Round-robin each dead rank's block onto a healthy rank."""
+        healthy = self.comm.alive_ranks()
+        if not healthy:
+            raise RankFailureError(
+                f"all {self.comm.size} ranks are dead "
+                f"(dead_ranks={sorted(self.comm.dead)}); no healthy rank "
+                "left to take over any C block"
+            )
+        return {
+            dead: healthy[i % len(healthy)]
+            for i, dead in enumerate(sorted(self.comm.dead))
+        }
 
     # -- decomposition -----------------------------------------------------
 
@@ -103,6 +159,11 @@ class MultiClusterGemm:
         row_bounds = self._block_bounds(M, pr)
         col_bounds = self._block_bounds(N, pc)
 
+        # Rank failure handling: each dead rank's C block is reassigned to
+        # a healthy rank (round-robin), which re-fetches the panels from
+        # the root and computes the extra block after its own.
+        replacements = self._replacements() if self.comm.dead else {}
+
         # Root (rank 0) scatters the A row-panels along grid rows and the
         # B column-panels along grid columns; with a flat communicator we
         # charge one panel transfer per receiving rank.
@@ -118,13 +179,18 @@ class MultiClusterGemm:
         ]
         self.comm.scatter(a_chunks, root=0)
         self.comm.scatter(b_chunks, root=0)
-        comm_after_scatter = self.comm.elapsed()
+        # The replacement ranks fetch the failed ranks' panels too.
+        for dead, repl in replacements.items():
+            if repl != 0:
+                self.comm._charge(0, repl, a_chunks[dead].nbytes)
+                self.comm._charge(0, repl, b_chunks[dead].nbytes)
 
         per_rank_gflops: List[float] = []
         compute_times: List[float] = []
         for p in range(pr):
             for q in range(pc):
                 rank = self.rank_of(p, q)
+                executing = replacements.get(rank, rank)
                 r0, r1 = row_bounds[p]
                 c0, c1 = col_bounds[q]
                 block = C[r0:r1, c0:c1].copy()
@@ -137,9 +203,12 @@ class MultiClusterGemm:
                     beta=beta,
                 )
                 C[r0:r1, c0:c1] = result
-                self.comm.advance(rank, report.elapsed_seconds)
+                elapsed = report.elapsed_seconds * self._straggler_factor(executing)
+                # Reassigned blocks serialise behind the replacement's own
+                # work — its clock simply accumulates both computations.
+                self.comm.advance(executing, elapsed)
                 per_rank_gflops.append(report.gflops)
-                compute_times.append(report.elapsed_seconds)
+                compute_times.append(elapsed)
 
         self.comm.barrier()
         c_pieces = [
@@ -149,6 +218,10 @@ class MultiClusterGemm:
             for q in range(pc)
         ]
         self.comm.gather(c_pieces, root=0)
+        # Reassigned blocks travel home from their replacement rank.
+        for dead, repl in replacements.items():
+            if repl != 0:
+                self.comm._charge(repl, 0, c_pieces[dead].nbytes)
 
         total = self.comm.elapsed()
         comm_seconds = total - max(compute_times) if compute_times else total
@@ -159,6 +232,8 @@ class MultiClusterGemm:
             compute_seconds=max(compute_times) if compute_times else 0.0,
             comm_seconds=max(0.0, comm_seconds),
             per_rank_gflops=per_rank_gflops,
+            failed_ranks=tuple(sorted(self.comm.dead)),
+            reassigned=replacements,
         )
         return C, report
 

@@ -31,7 +31,7 @@ from typing import Dict, Generator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, SynchronizationError
 from repro.codegen.elementwise import get_elementwise
 from repro.codegen.microkernel import get_kernel
 from repro.poly.astnodes import (
@@ -86,7 +86,13 @@ class Executor:
         scalar_naive: bool = False,
     ) -> None:
         self.program = program
-        self.cluster = cluster or Cluster(program.arch)
+        self.cluster = cluster or Cluster(
+            program.arch,
+            fault_policy=program.options.fault_policy,
+            retry_policy=program.options.retry_policy,
+        )
+        #: reply-counter watchdog budget in virtual seconds (0 = off)
+        self._watchdog_s = self.cluster.fault_policy.watchdog_timeout_s
         self.runtime = AthreadRuntime(
             self.cluster, move_data, elem_bytes=program.spec.itemsize
         )
@@ -213,6 +219,33 @@ class Executor:
             self._progress += 1
             return "dead"
 
+    def _watchdog_error(
+        self, cpe: CPE, kind: str, key: str, value: int, lost: bool
+    ) -> SynchronizationError:
+        """A diagnostic for a reply wait that can never complete: names the
+        stalled CPE, the counter state and the poisoned buffer(s) so a
+        pipeline stall reads like a bug report instead of a hang."""
+        counter = cpe.reply(key)
+        pending = sorted(
+            f"{name}[{slot}]"
+            for (name, slot), cause in cpe.spm.inflight_slots().items()
+            if key in cause
+        )
+        if lost and cpe.lost_replies.get(key, (None, 0.0))[0] is not None:
+            buffer = cpe.lost_replies[key][0]
+            pending.append(f"{buffer[0]}[{buffer[1]}]")
+        buffers = ", ".join(sorted(set(pending))) or "<no poisoned buffer>"
+        cause = (
+            "the reply was dropped in transit"
+            if lost
+            else f"no completion within the {self._watchdog_s}s watchdog budget"
+        )
+        return SynchronizationError(
+            f"watchdog: {cpe!r} stalled in {kind} on reply {key!r} "
+            f"(counter at {counter.value}, waiting for {value}) — {cause}; "
+            f"pending transfer into {buffers}"
+        )
+
     # ------------------------------------------------------------------
     # Statement interpretation
     # ------------------------------------------------------------------
@@ -280,8 +313,23 @@ class Executor:
         if kind in ("dma_wait_value", "rma_wait_value"):
             key = self._reply_key(args, env)
             value = int(args.get("value", 1))
+            waited_since: Optional[float] = None
             while not rt.reply_satisfied(cpe, key, value):
                 self._blocked[(cpe.rid, cpe.cid)] = f"{kind} {key} >= {value}"
+                # Watchdog: a reply that the fault plane dropped will never
+                # arrive — diagnose immediately.  Otherwise give the wait a
+                # bounded budget of *virtual* time while the rest of the
+                # mesh advances, then turn the stall into a diagnostic
+                # instead of spinning until the global deadlock detector.
+                if key in cpe.lost_replies:
+                    raise self._watchdog_error(cpe, kind, key, value, lost=True)
+                if waited_since is None:
+                    waited_since = self.cluster.elapsed()
+                elif (
+                    self._watchdog_s > 0
+                    and self.cluster.elapsed() - waited_since > self._watchdog_s
+                ):
+                    raise self._watchdog_error(cpe, kind, key, value, lost=False)
                 yield "blocked"
             self._blocked.pop((cpe.rid, cpe.cid), None)
             rt.finish_wait(cpe, key, value)
@@ -544,7 +592,11 @@ def run_gemm(
         raise ExecutionError(f"C has shape {C.shape}, expected {(M, N)}")
 
     Mp, Np, Kp = program.padded_shape(M, N, K)
-    cluster = cluster or Cluster(program.arch)
+    cluster = cluster or Cluster(
+        program.arch,
+        fault_policy=program.options.fault_policy,
+        retry_policy=program.options.retry_policy,
+    )
 
     np_dtype = np.float64 if spec.dtype == "float64" else np.float32
 

@@ -132,6 +132,7 @@ def _register_all() -> None:
         MarkNode,
         SequenceNode,
     )
+    from repro.faults import FaultPolicy, RetryPolicy
     from repro.poly.space import Space
     from repro.sunway.arch import ArchSpec, MicroKernelShape
 
@@ -274,6 +275,8 @@ def _register_all() -> None:
     for cls in (
         GemmSpec,
         CompilerOptions,
+        FaultPolicy,
+        RetryPolicy,
         BufferSpec,
         TilePlan,
         DmaSpec,

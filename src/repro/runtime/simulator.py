@@ -108,7 +108,11 @@ class PerformanceSimulator:
             raise ConfigurationError(
                 f"K={K} is not a multiple of the k step {plan.k_step}"
             )
-        cluster = Cluster(self.arch)
+        cluster = Cluster(
+            self.arch,
+            fault_policy=options.fault_policy,
+            retry_policy=options.retry_policy,
+        )
         cm, cn = plan.chunk_m, plan.chunk_n
         batched = spec.is_batched
         a_shape = (1, cm, K) if batched else (cm, K)
@@ -172,14 +176,31 @@ class PerformanceSimulator:
             chunk_seconds=chunk,
         )
 
-    def breakdown(self, M: int, N: int, K: int) -> Dict[str, PerfResult]:
-        """The four §8.1 variants for one shape (Fig. 13's bar groups)."""
+    def breakdown(
+        self,
+        M: int,
+        N: int,
+        K: int,
+        fault_policy: Optional[object] = None,
+        retry_policy: Optional[object] = None,
+    ) -> Dict[str, PerfResult]:
+        """The four §8.1 variants for one shape (Fig. 13's bar groups).
+
+        ``fault_policy`` / ``retry_policy`` thread the fault-injection
+        plane through every variant (the CLI's ``--inject-faults``)."""
+        variants = (
+            ("dma-only", CompilerOptions.baseline()),
+            ("+asm", CompilerOptions.with_asm()),
+            ("+rma", CompilerOptions.with_rma()),
+            ("+hiding", CompilerOptions.full()),
+        )
+        if fault_policy is not None or retry_policy is not None:
+            variants = tuple(
+                (name, opts.with_(fault_policy=fault_policy,
+                                  retry_policy=retry_policy))
+                for name, opts in variants
+            )
         return {
             name: self.simulate(M, N, K, options)
-            for name, options in (
-                ("dma-only", CompilerOptions.baseline()),
-                ("+asm", CompilerOptions.with_asm()),
-                ("+rma", CompilerOptions.with_rma()),
-                ("+hiding", CompilerOptions.full()),
-            )
+            for name, options in variants
         }

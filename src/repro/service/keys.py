@@ -37,12 +37,19 @@ def cache_key(
     options: Optional[CompilerOptions] = None,
 ) -> str:
     """Stable hex digest addressing one compiled kernel."""
+    options = options or CompilerOptions()
+    if options.fault_policy is not None or options.retry_policy is not None:
+        # Fault injection and retry behaviour are runtime-only concerns:
+        # the generated code is identical, so they must not fragment the
+        # artifact store.  The service re-stamps the requested policies
+        # onto cached programs (see CompileService._get).
+        options = options.with_(fault_policy=None, retry_policy=None)
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
         "serde": serde.SERDE_VERSION,
         "spec": canonical_blob(spec),
         "arch": canonical_blob(arch or SW26010PRO),
-        "options": canonical_blob(options or CompilerOptions()),
+        "options": canonical_blob(options),
     }
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()

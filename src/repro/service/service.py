@@ -17,6 +17,7 @@ kernels compiles each distinct ``(spec, arch, options)`` triple once.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -27,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.options import CompilerOptions
 from repro.core.pipeline import GemmCompiler
 from repro.core.spec import GemmSpec
+from repro.faults import FaultInjector, FaultPolicy
 from repro.runtime.program import CompiledProgram
 from repro.service.cache import LRUCache
 from repro.service.keys import cache_key
@@ -51,6 +53,9 @@ class ServiceConfig:
     enabled: bool = True
     #: Worker threads used by :meth:`CompileService.warmup`.
     workers: int = 4
+    #: Optional fault plane for the artifact store (chaos testing of the
+    #: quarantine/recompile path); ``None`` or disabled means no faults.
+    fault_policy: Optional[FaultPolicy] = None
 
 
 @dataclass
@@ -82,8 +87,11 @@ class CompileService:
         self._memory: LRUCache[CompiledProgram] = LRUCache(
             self.config.memory_capacity
         )
+        injector = None
+        if self.config.fault_policy is not None and self.config.fault_policy.enabled:
+            injector = FaultInjector(self.config.fault_policy).fork("artifact")
         self._store = (
-            ArtifactStore(self.config.cache_dir)
+            ArtifactStore(self.config.cache_dir, injector=injector)
             if self.config.cache_dir is not None
             else None
         )
@@ -92,6 +100,7 @@ class CompileService:
         self.requests = 0
         self.bypassed = 0
         self.deduped = 0
+        self.flight_retries = 0
         self.compile_count = 0
         self.compile_seconds_total = 0.0
         self.compile_seconds_max = 0.0
@@ -166,6 +175,7 @@ class CompileService:
                 "requests": self.requests,
                 "bypassed": self.bypassed,
                 "single_flight_deduped": self.deduped,
+                "single_flight_retries": self.flight_retries,
                 "memory": self._memory.stats(),
                 "compiles": {
                     "count": count,
@@ -187,6 +197,21 @@ class CompileService:
 
     # -- internals -----------------------------------------------------------
 
+    @staticmethod
+    def _restamp(
+        program: CompiledProgram, options: CompilerOptions
+    ) -> CompiledProgram:
+        """Re-apply the caller's runtime-only knobs to a cached program.
+
+        Fault/retry policies are excluded from cache keys (they change
+        execution, not code generation), so a hit may carry a different
+        policy than the caller asked for — hand back a copy stamped with
+        the requested options."""
+        current = getattr(program, "options", None)
+        if current is None or current == options:
+            return program
+        return dataclasses.replace(program, options=options)
+
     def _get(
         self, spec: GemmSpec, arch: ArchSpec, options: CompilerOptions
     ) -> Tuple[CompiledProgram, str]:
@@ -199,28 +224,35 @@ class CompileService:
             return program, "compiled"
 
         key = cache_key(spec, arch, options)
-        with self._lock:
-            cached = self._memory.get(key)
-            if cached is not None:
-                self._flush_persistent({"requests": 1, "memory_hits": 1})
-                return cached, "memory"
-            flight = self._inflight.get(key)
-            if flight is None:
-                flight = _Inflight()
-                self._inflight[key] = flight
-                owner = True
-            else:
-                flight.waiters += 1
-                self.deduped += 1
-                owner = False
+        while True:
+            with self._lock:
+                cached = self._memory.get(key)
+                if cached is not None:
+                    self._flush_persistent({"requests": 1, "memory_hits": 1})
+                    return self._restamp(cached, options), "memory"
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _Inflight()
+                    self._inflight[key] = flight
+                    owner = True
+                else:
+                    flight.waiters += 1
+                    self.deduped += 1
+                    owner = False
 
-        if not owner:
+            if owner:
+                break
             flight.done.wait()
-            self._flush_persistent({"requests": 1, "deduped": 1})
-            if flight.error is not None:
-                raise flight.error
-            assert flight.program is not None
-            return flight.program, "deduped"
+            if flight.error is None:
+                assert flight.program is not None
+                self._flush_persistent({"requests": 1, "deduped": 1})
+                return self._restamp(flight.program, options), "deduped"
+            # The owner's compile failed.  Its error may be transient
+            # (fault injection, a flaky disk) and belongs to the owner's
+            # request anyway — instead of propagating a stranger's
+            # exception, loop and re-attempt as the new owner.
+            with self._lock:
+                self.flight_retries += 1
 
         source = "compiled"
         try:
@@ -246,7 +278,7 @@ class CompileService:
             del self._inflight[key]
         flight.program = program
         flight.done.set()
-        return program, source
+        return self._restamp(program, options), source
 
     def _compile_timed(
         self, spec: GemmSpec, arch: ArchSpec, options: CompilerOptions

@@ -4,7 +4,9 @@ One JSON file per content-addressed key under a cache directory, written
 atomically (temp file + rename) so concurrent writers — several CLI
 invocations, a warmup fleet — can share the directory without torn
 artifacts.  Corrupt or version-skewed artifacts are treated as misses
-and removed.
+and *quarantined* to ``<cache-dir>/quarantine/`` rather than silently
+deleted, so an operator can diagnose what corrupted them; the caller
+recompiles and the fresh artifact overwrites the key.
 
 The store also keeps cumulative service counters in ``stats.json`` so a
 later ``swgemm cache stats`` invocation can report the hits a previous
@@ -21,6 +23,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.faults import FaultInjector
 from repro.runtime.program import CompiledProgram
 
 #: Environment variable overriding the default cache directory.
@@ -28,6 +31,7 @@ CACHE_DIR_ENV = "SWGEMM_CACHE_DIR"
 
 _STATS_FILE = "stats.json"
 _SUFFIX = ".json"
+_QUARANTINE_DIR = "quarantine"
 
 
 def default_cache_dir() -> Path:
@@ -41,17 +45,27 @@ def default_cache_dir() -> Path:
 class ArtifactStore:
     """Directory of serialized :class:`CompiledProgram` artifacts."""
 
-    def __init__(self, root: Path) -> None:
+    def __init__(
+        self, root: Path, injector: Optional[FaultInjector] = None
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.disk_hits = 0
         self.disk_misses = 0
         self.writes = 0
+        self.quarantined = 0
+        #: optional fault plane corrupting freshly written artifacts
+        #: (chaos testing of the quarantine/recompile path)
+        self.injector = injector
 
     # -- artifact files ----------------------------------------------------
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}{_SUFFIX}"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / _QUARANTINE_DIR
 
     def get(self, key: str) -> Optional[CompiledProgram]:
         path = self.path_for(key)
@@ -62,9 +76,9 @@ class ArtifactStore:
             self.disk_misses += 1
             return None
         except Exception:
-            # Corrupt, truncated or version-skewed artifact: drop it and
-            # let the caller recompile.
-            path.unlink(missing_ok=True)
+            # Corrupt, truncated or version-skewed artifact: quarantine it
+            # for diagnosis and report a miss so the caller recompiles.
+            self._quarantine(path)
             self.disk_misses += 1
             return None
         self.disk_hits += 1
@@ -81,7 +95,30 @@ class ArtifactStore:
         path = self.path_for(key)
         self._atomic_write(path, json.dumps(payload))
         self.writes += 1
+        if self.injector is not None:
+            # The fault plane may truncate the artifact we just landed —
+            # the next get() must treat it as a miss and quarantine it.
+            self.injector.corrupt_artifact(path)
         return path
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt artifact aside (collision-safe) for diagnosis."""
+        qdir = self.quarantine_dir
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            target = qdir / path.name
+            serial = 0
+            while target.exists():
+                serial += 1
+                target = qdir / f"{path.stem}.{serial}{path.suffix}"
+            os.replace(path, target)
+        except OSError:
+            # Quarantine is best-effort; never let it turn a cache miss
+            # into a hard failure.  Fall back to deleting the artifact so
+            # the corrupt bytes cannot be served again.
+            path.unlink(missing_ok=True)
+        self.quarantined += 1
+        self.bump_persistent_stats({"quarantined": 1})
 
     def keys(self) -> List[str]:
         return sorted(
@@ -139,6 +176,10 @@ class ArtifactStore:
             raise
 
     def stats(self) -> Dict[str, object]:
+        qdir = self.quarantine_dir
+        quarantine_files = (
+            len(list(qdir.glob(f"*{_SUFFIX}"))) if qdir.is_dir() else 0
+        )
         return {
             "dir": str(self.root),
             "artifacts": len(self.keys()),
@@ -146,4 +187,6 @@ class ArtifactStore:
             "hits": self.disk_hits,
             "misses": self.disk_misses,
             "writes": self.writes,
+            "quarantined": self.quarantined,
+            "quarantine_files": quarantine_files,
         }

@@ -128,6 +128,9 @@ class AthreadRuntime:
 
     def reply_reset(self, cpe: CPE, name: str) -> None:
         cpe.reply(name).reset()
+        # A reset opens a new transfer window: any reply loss recorded for
+        # the previous window no longer explains a stall on this counter.
+        cpe.lost_replies.pop(name, None)
 
     def reply_satisfied(self, cpe: CPE, name: str, value: int) -> bool:
         return cpe.reply(name).satisfied(value)

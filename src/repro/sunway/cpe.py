@@ -77,6 +77,10 @@ class CPE:
         # §5: an RMA may only be launched after a synch(); the flag is set
         # by the barrier and cleared when the RMA pair has been waited on.
         self.rma_armed: bool = False
+        # Reply counters whose increment was dropped by the fault
+        # injector: reply name -> (poisoned buffer slot, completion time).
+        # The executor watchdog uses this to name the lost transfer.
+        self.lost_replies: Dict[str, Tuple[Optional[Tuple[str, int]], float]] = {}
         # Simple counters for reporting/tests.
         self.stats: Dict[str, float] = {
             "dma_messages": 0,
@@ -85,6 +89,9 @@ class CPE:
             "rma_bytes": 0,
             "kernel_calls": 0,
             "compute_seconds": 0.0,
+            "dma_retries": 0,
+            "rma_retries": 0,
+            "lost_replies": 0,
         }
 
     # -- reply counters ----------------------------------------------------
@@ -110,6 +117,7 @@ class CPE:
     def reset(self) -> None:
         self.spm.free_all()
         self.replies.clear()
+        self.lost_replies.clear()
         self.clock = 0.0
         self.rma_armed = False
         for key in self.stats:

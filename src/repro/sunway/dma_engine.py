@@ -22,11 +22,12 @@ contend exactly as they would on the shared DDR4 controller.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import InvalidDMAError
+from repro.errors import InvalidDMAError, TransientFaultError
+from repro.faults import FaultInjector, FaultPolicy, RetryPolicy, tile_checksum
 from repro.sunway.arch import ArchSpec
 from repro.sunway.cpe import CPE, ReplyRecord
 
@@ -36,14 +37,27 @@ _DTYPE_BYTES = 8  # DGEMM: double precision throughout
 class DMAEngine:
     """Shared main-memory DMA channel of one core group."""
 
-    def __init__(self, arch: ArchSpec) -> None:
+    def __init__(
+        self,
+        arch: ArchSpec,
+        policy: Optional[FaultPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.arch = arch
         self.channel_free: float = 0.0
         #: optional TraceRecorder attached by the cluster
         self.trace = None
+        #: fault configuration and the deterministic injection stream
+        self.policy = policy or FaultPolicy()
+        self.retry = retry or RetryPolicy()
+        self.injector: Optional[FaultInjector] = None
 
     def reset(self) -> None:
         self.channel_free = 0.0
+        # Back-to-back runs on one cluster must not interleave trace
+        # events: a reset starts a fresh recording.
+        if self.trace is not None:
+            self.trace.clear()
 
     # -- helpers ----------------------------------------------------------
 
@@ -76,14 +90,70 @@ class DMAEngine:
         return rows
 
     def _occupy_channel(
-        self, issue_time: float, nbytes: int, run_bytes: int = 0
+        self,
+        issue_time: float,
+        nbytes: int,
+        run_bytes: int = 0,
+        factor: float = 1.0,
     ) -> float:
         start = max(issue_time, self.channel_free)
-        completion = start + self.arch.dma_time_s(nbytes, run_bytes)
+        completion = start + self.arch.dma_time_s(nbytes, run_bytes) * factor
         self.channel_free = completion
         if self.trace is not None:
             self.trace.record("dma", start, completion, "channel")
         return completion
+
+    def _transfer(
+        self,
+        cpe: CPE,
+        what: str,
+        nbytes: int,
+        run_bytes: int,
+        copy_fn: Optional[Callable[[], int]],
+        corrupt_fn: Optional[Callable[[], None]],
+        readback_fn: Optional[Callable[[], int]],
+    ) -> Tuple[float, Optional[int]]:
+        """One DMA message under the fault plane.
+
+        Each attempt occupies the channel (possibly with an injected
+        latency spike).  A transient fault or a detected checksum
+        mismatch costs the attempt plus an exponential backoff, then the
+        message is reissued; exhausting the retry budget raises
+        :class:`TransientFaultError` naming the CPE and transfer.
+        Returns ``(completion time, payload checksum or None)``.
+        """
+        injector = self.injector
+        attempts = 0
+        issue = cpe.clock
+        while True:
+            factor = injector.latency_factor("dma") if injector else 1.0
+            faulted = injector.transfer_fault("dma") if injector else False
+            completion = self._occupy_channel(issue, nbytes, run_bytes, factor)
+            checksum: Optional[int] = None
+            if not faulted:
+                if copy_fn is not None:
+                    checksum = copy_fn()
+                    if injector is not None and injector.corrupts("dma"):
+                        if corrupt_fn is not None:
+                            corrupt_fn()
+                    if (
+                        self.policy.checksums
+                        and readback_fn is not None
+                        and readback_fn() != checksum
+                    ):
+                        faulted = True  # corruption detected: retry the copy
+                if not faulted:
+                    return completion, checksum
+            attempts += 1
+            cpe.stats["dma_retries"] += 1
+            if attempts > self.retry.max_retries:
+                raise TransientFaultError(
+                    f"{what} on {cpe!r} failed {attempts} attempt(s); "
+                    f"retry budget of {self.retry.max_retries} exhausted "
+                    f"(injected transient DMA faults, seed "
+                    f"{self.policy.seed})"
+                )
+            issue = completion + self.retry.backoff(attempts - 1)
 
     def _gather_indices(
         self, offset: int, rows: int, length: int, strip: int
@@ -111,16 +181,38 @@ class DMAEngine:
         """Main memory → SPM.  Returns the modelled completion time."""
         spm_elems = dst.size if dst is not None else size
         rows = self._validate(src_elems, offset, size, length, strip, spm_elems)
+        copy_fn = corrupt_fn = readback_fn = None
         if move_data:
             if src is None or dst is None:
                 raise InvalidDMAError("move_data requires both arrays")
             flat = src.reshape(-1)
             idx = self._gather_indices(offset, rows, length, strip)
-            dst.reshape(-1)[:size] = flat[idx]
+            payload = flat[idx]
+            dst_flat = dst.reshape(-1)
+
+            def copy_fn() -> int:
+                dst_flat[:size] = payload
+                return tile_checksum(payload)
+
+            def corrupt_fn() -> None:
+                self.injector.corrupt_tile(dst_flat[:size])
+
+            def readback_fn() -> int:
+                return tile_checksum(dst_flat[:size])
+
         nbytes = size * elem_bytes
-        completion = self._occupy_channel(cpe.clock, nbytes, length * elem_bytes)
+        completion, checksum = self._transfer(
+            cpe, f"dma_iget into {dst_key[0]}[{dst_key[1]}]", nbytes,
+            length * elem_bytes, copy_fn, corrupt_fn, readback_fn,
+        )
         cpe.spm.mark_inflight(dst_key[0], dst_key[1], f"dma_iget/{reply_name}")
-        cpe.reply(reply_name).add(ReplyRecord(completion, dst_key))
+        if checksum is not None and self.policy.checksums:
+            cpe.spm.record_checksum(dst_key[0], dst_key[1], checksum, size)
+        if self.injector is not None and self.injector.drops_reply("dma"):
+            cpe.stats["lost_replies"] += 1
+            cpe.lost_replies[reply_name] = (dst_key, completion)
+        else:
+            cpe.reply(reply_name).add(ReplyRecord(completion, dst_key))
         cpe.stats["dma_messages"] += 1
         cpe.stats["dma_bytes"] += nbytes
         return completion
@@ -146,17 +238,36 @@ class DMAEngine:
         cpe.spm.check_readable(src_key[0], src_key[1])
         spm_elems = src.size if src is not None else size
         rows = self._validate(dst_elems, offset, size, length, strip, spm_elems)
+        copy_fn = corrupt_fn = readback_fn = None
         if move_data:
             if src is None or dst is None:
                 raise InvalidDMAError("move_data requires both arrays")
             flat = dst.reshape(-1)
             idx = self._gather_indices(offset, rows, length, strip)
-            flat[idx] = src.reshape(-1)[:size]
+            payload = src.reshape(-1)[:size]
+
+            def copy_fn() -> int:
+                flat[idx] = payload
+                return tile_checksum(payload)
+
+            def corrupt_fn() -> None:
+                self.injector.corrupt_tile(flat, positions=idx)
+
+            def readback_fn() -> int:
+                return tile_checksum(flat[idx])
+
         nbytes = size * elem_bytes
-        completion = self._occupy_channel(cpe.clock, nbytes, length * elem_bytes)
+        completion, _ = self._transfer(
+            cpe, f"dma_iput from {src_key[0]}[{src_key[1]}]", nbytes,
+            length * elem_bytes, copy_fn, corrupt_fn, readback_fn,
+        )
         # The SPM source must not be overwritten until the put completed.
         cpe.spm.mark_inflight(src_key[0], src_key[1], f"dma_iput/{reply_name}")
-        cpe.reply(reply_name).add(ReplyRecord(completion, src_key))
+        if self.injector is not None and self.injector.drops_reply("dma"):
+            cpe.stats["lost_replies"] += 1
+            cpe.lost_replies[reply_name] = (src_key, completion)
+        else:
+            cpe.reply(reply_name).add(ReplyRecord(completion, src_key))
         cpe.stats["dma_messages"] += 1
         cpe.stats["dma_bytes"] += nbytes
         return completion

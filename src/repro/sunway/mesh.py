@@ -8,9 +8,10 @@ that synchronisation *arms* subsequent RMA launches.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.errors import MeshError
+from repro.faults import FaultInjector, FaultPolicy, RetryPolicy
 from repro.sunway.arch import ArchSpec
 from repro.sunway.cpe import CPE
 from repro.sunway.dma_engine import DMAEngine
@@ -59,7 +60,12 @@ class Barrier:
 class Cluster:
     """One simulated SW26010Pro core group."""
 
-    def __init__(self, arch: ArchSpec) -> None:
+    def __init__(
+        self,
+        arch: ArchSpec,
+        fault_policy: Optional[FaultPolicy] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.arch = arch
         self.memory = MainMemory()
         self.mpe = MPE(arch)
@@ -67,8 +73,18 @@ class Cluster:
             [CPE(r, c, arch.spm_bytes) for c in range(arch.mesh_cols)]
             for r in range(arch.mesh_rows)
         ]
-        self.dma = DMAEngine(arch)
-        self.rma = RMAEngine(arch, self.cpes)
+        #: fault plane shared by every engine of this core group
+        self.fault_policy = fault_policy or FaultPolicy()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.dma = DMAEngine(arch, self.fault_policy, self.retry_policy)
+        self.rma = RMAEngine(arch, self.cpes, self.fault_policy, self.retry_policy)
+        if self.fault_policy.enabled:
+            # Named streams: the DMA and RMA engines draw independently,
+            # so a run with the same seed replays the same fault sequence
+            # on each plane regardless of the other's traffic.
+            root = FaultInjector(self.fault_policy)
+            self.dma.injector = root.fork("dma")
+            self.rma.injector = root.fork("rma")
         self.barrier = Barrier(arch, self.all_cpes())
         self.spawn_count = 0
         self.trace = None

@@ -31,7 +31,13 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import InvalidRMAError, SynchronizationError
+from repro.errors import (
+    DataIntegrityError,
+    InvalidRMAError,
+    SynchronizationError,
+    TransientFaultError,
+)
+from repro.faults import FaultInjector, FaultPolicy, RetryPolicy, tile_checksum
 from repro.sunway.arch import ArchSpec
 from repro.sunway.cpe import CPE, ReplyRecord
 
@@ -41,17 +47,31 @@ _DTYPE_BYTES = 8
 class RMAEngine:
     """Row/column broadcast fabric of one CPE mesh."""
 
-    def __init__(self, arch: ArchSpec, mesh: List[List[CPE]]) -> None:
+    def __init__(
+        self,
+        arch: ArchSpec,
+        mesh: List[List[CPE]],
+        policy: Optional[FaultPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.arch = arch
         self.mesh = mesh
         self.row_channel_free = [0.0] * arch.mesh_rows
         self.col_channel_free = [0.0] * arch.mesh_cols
         #: optional TraceRecorder attached by the cluster
         self.trace = None
+        #: fault configuration and the deterministic injection stream
+        self.policy = policy or FaultPolicy()
+        self.retry = retry or RetryPolicy()
+        self.injector: Optional[FaultInjector] = None
 
     def reset(self) -> None:
         self.row_channel_free = [0.0] * self.arch.mesh_rows
         self.col_channel_free = [0.0] * self.arch.mesh_cols
+        # Back-to-back runs on one cluster must not interleave trace
+        # events: a reset starts a fresh recording.
+        if self.trace is not None:
+            self.trace.clear()
 
     # -- common ---------------------------------------------------------
 
@@ -68,6 +88,42 @@ class RMAEngine:
                 "before each RMA launch (§5)"
             )
 
+    def _occupy(
+        self, free_list: List[float], index: int, issue: float, nbytes: int,
+        label: str,
+    ) -> float:
+        """One attempt on a row/column channel, with latency spikes."""
+        factor = self.injector.latency_factor("rma") if self.injector else 1.0
+        start = max(issue, free_list[index])
+        completion = start + self.arch.rma_time_s(nbytes) * factor
+        free_list[index] = completion
+        if self.trace is not None:
+            self.trace.record("rma", start, completion, label)
+        return completion
+
+    def _occupy_with_retries(
+        self, sender: CPE, free_list: List[float], index: int, nbytes: int,
+        label: str, what: str,
+    ) -> float:
+        """Occupy a channel under the fault plane: a transiently failed
+        broadcast costs the attempt plus backoff, then relaunches."""
+        attempts = 0
+        issue = sender.clock
+        while True:
+            completion = self._occupy(free_list, index, issue, nbytes, label)
+            if not (self.injector is not None
+                    and self.injector.transfer_fault("rma")):
+                return completion
+            attempts += 1
+            sender.stats["rma_retries"] += 1
+            if attempts > self.retry.max_retries:
+                raise TransientFaultError(
+                    f"{what} from {sender!r} failed {attempts} attempt(s); "
+                    f"retry budget of {self.retry.max_retries} exhausted "
+                    f"(injected transient RMA faults, seed {self.policy.seed})"
+                )
+            issue = completion + self.retry.backoff(attempts - 1)
+
     def _deliver(
         self,
         sender: CPE,
@@ -81,11 +137,18 @@ class RMAEngine:
         move_data: bool,
     ) -> None:
         sender.spm.check_readable(src_key[0], src_key[1])
+        if move_data and self.policy.checksums:
+            # End-to-end integrity: the tile the DMA landed must still be
+            # intact when it leaves the SPM again on the RMA hop.
+            sender.spm.verify_checksum(src_key[0], src_key[1], size)
         src_tile = sender.spm.slot(src_key[0], src_key[1])
         if size <= 0 or size > src_tile.size:
             raise InvalidRMAError(
                 f"RMA size {size} outside source tile of {src_tile.size} elements"
             )
+        expected: Optional[int] = None
+        if move_data and self.policy.checksums:
+            expected = tile_checksum(src_tile.reshape(-1)[:size])
         nbytes = size * _DTYPE_BYTES
         for receiver in receivers:
             dst_tile = receiver.spm.slot(dst_key[0], dst_key[1])
@@ -95,10 +158,40 @@ class RMAEngine:
                 )
             if move_data:
                 dst_flat = dst_tile.reshape(-1)
-                dst_flat[:size] = src_tile.reshape(-1)[:size]
+                attempts = 0
+                while True:
+                    dst_flat[:size] = src_tile.reshape(-1)[:size]
+                    if (self.injector is not None
+                            and self.injector.corrupts("rma")):
+                        self.injector.corrupt_tile(dst_flat[:size])
+                    if (expected is not None
+                            and tile_checksum(dst_flat[:size]) != expected):
+                        attempts += 1
+                        receiver.stats["rma_retries"] += 1
+                        if attempts > self.retry.max_retries:
+                            raise DataIntegrityError(
+                                f"RMA delivery into {dst_key[0]}"
+                                f"[{dst_key[1]}] on {receiver!r} failed its "
+                                f"checksum {attempts} time(s); retry budget "
+                                f"of {self.retry.max_retries} exhausted"
+                            )
+                        continue
+                    break
+                if expected is not None:
+                    receiver.spm.record_checksum(
+                        dst_key[0], dst_key[1], expected, size
+                    )
             receiver.spm.mark_inflight(dst_key[0], dst_key[1], f"rma/{replyr}")
-            receiver.reply(replyr).add(ReplyRecord(completion, dst_key))
-        sender.reply(replys).add(ReplyRecord(completion, None))
+            if self.injector is not None and self.injector.drops_reply("rma"):
+                receiver.stats["lost_replies"] += 1
+                receiver.lost_replies[replyr] = (dst_key, completion)
+            else:
+                receiver.reply(replyr).add(ReplyRecord(completion, dst_key))
+        if self.injector is not None and self.injector.drops_reply("rma"):
+            sender.stats["lost_replies"] += 1
+            sender.lost_replies[replys] = (None, completion)
+        else:
+            sender.reply(replys).add(ReplyRecord(completion, None))
         sender.stats["rma_messages"] += 1
         sender.stats["rma_bytes"] += nbytes
 
@@ -118,11 +211,10 @@ class RMAEngine:
         """Broadcast the sender's SPM tile to every CPE on its mesh row."""
         self._check_armed(sender)
         receivers = list(self.mesh[sender.rid])
-        start = max(sender.clock, self.row_channel_free[sender.rid])
-        completion = start + self.arch.rma_time_s(size * elem_bytes)
-        self.row_channel_free[sender.rid] = completion
-        if self.trace is not None:
-            self.trace.record("rma", start, completion, f"row{sender.rid}")
+        completion = self._occupy_with_retries(
+            sender, self.row_channel_free, sender.rid, size * elem_bytes,
+            f"row{sender.rid}", "rma_row_ibcast",
+        )
         self._deliver(
             sender, receivers, src_key, dst_key, size, replys, replyr,
             completion, move_data,
@@ -143,11 +235,10 @@ class RMAEngine:
         """Broadcast the sender's SPM tile to every CPE on its mesh column."""
         self._check_armed(sender)
         receivers = [row[sender.cid] for row in self.mesh]
-        start = max(sender.clock, self.col_channel_free[sender.cid])
-        completion = start + self.arch.rma_time_s(size * elem_bytes)
-        self.col_channel_free[sender.cid] = completion
-        if self.trace is not None:
-            self.trace.record("rma", start, completion, f"col{sender.cid}")
+        completion = self._occupy_with_retries(
+            sender, self.col_channel_free, sender.cid, size * elem_bytes,
+            f"col{sender.cid}", "rma_col_ibcast",
+        )
         self._deliver(
             sender, receivers, src_key, dst_key, size, replys, replyr,
             completion, move_data,
@@ -173,17 +264,21 @@ class RMAEngine:
         transit-point behaviour the paper describes.
         """
         self._check_armed(sender)
+        nbytes = size * _DTYPE_BYTES
         if target.rid == sender.rid:
-            start = max(sender.clock, self.row_channel_free[sender.rid])
-            completion = start + self.arch.rma_time_s(size * _DTYPE_BYTES)
-            self.row_channel_free[sender.rid] = completion
+            completion = self._occupy(
+                self.row_channel_free, sender.rid, sender.clock, nbytes,
+                f"row{sender.rid}",
+            )
         else:
-            start = max(sender.clock, self.row_channel_free[sender.rid])
-            hop1 = start + self.arch.rma_time_s(size * _DTYPE_BYTES)
-            self.row_channel_free[sender.rid] = hop1
-            start2 = max(hop1, self.col_channel_free[target.cid])
-            completion = start2 + self.arch.rma_time_s(size * _DTYPE_BYTES)
-            self.col_channel_free[target.cid] = completion
+            hop1 = self._occupy(
+                self.row_channel_free, sender.rid, sender.clock, nbytes,
+                f"row{sender.rid}",
+            )
+            completion = self._occupy(
+                self.col_channel_free, target.cid, hop1, nbytes,
+                f"col{target.cid}",
+            )
         self._deliver(
             sender, [target], src_key, dst_key, size, replys, replyr,
             completion, move_data,
@@ -213,9 +308,10 @@ class RMAEngine:
             cpe.spm.clear_inflight(dst_key[0], dst_key[1])
             cpe.rma_armed = True
         for cpe in list(self.mesh[sender.rid]):
-            start = max(row_done, self.col_channel_free[cpe.cid])
-            done = start + self.arch.rma_time_s(size * _DTYPE_BYTES)
-            self.col_channel_free[cpe.cid] = done
+            done = self._occupy(
+                self.col_channel_free, cpe.cid, row_done, size * _DTYPE_BYTES,
+                f"col{cpe.cid}",
+            )
             completion = max(completion, done)
             receivers = [row[cpe.cid] for row in self.mesh if row[cpe.cid] is not cpe]
             self._deliver(

@@ -36,6 +36,9 @@ class ScratchPadMemory:
         self.owner = owner
         self._buffers: Dict[str, np.ndarray] = {}
         self._inflight: Dict[Tuple[str, int], str] = {}
+        # End-to-end integrity: (buffer, slot) -> (crc32, element count)
+        # recorded by the engine that last filled the slot.
+        self._checksums: Dict[Tuple[str, int], Tuple[int, int]] = {}
         self._used = 0
 
     # -- allocation ---------------------------------------------------------
@@ -60,6 +63,7 @@ class ScratchPadMemory:
     def free_all(self) -> None:
         self._buffers.clear()
         self._inflight.clear()
+        self._checksums.clear()
         self._used = 0
 
     # -- access -------------------------------------------------------------
@@ -118,3 +122,37 @@ class ScratchPadMemory:
 
     def inflight_slots(self) -> Dict[Tuple[str, int], str]:
         return dict(self._inflight)
+
+    # -- end-to-end tile checksums -------------------------------------------
+
+    def record_checksum(self, name: str, index: int, crc: int, elems: int) -> None:
+        """Remember the integrity checksum of the data that filled a slot."""
+        self._checksums[(name, index)] = (crc, elems)
+
+    def stored_checksum(self, name: str, index: int) -> Optional[Tuple[int, int]]:
+        return self._checksums.get((name, index))
+
+    def verify_checksum(self, name: str, index: int, size: int) -> None:
+        """Re-verify a slot against its recorded checksum before the data
+        leaves the SPM again (the DMA→RMA hop of the §6 pipeline).
+
+        Only slots whose recorded element count matches ``size`` are
+        checked — a slot reused at a different granularity simply has no
+        applicable record.  A mismatch means the SPM content rotted
+        between the fill and the re-send: raise instead of broadcasting
+        garbage across the mesh.
+        """
+        from repro.errors import DataIntegrityError
+        from repro.faults import tile_checksum
+
+        record = self._checksums.get((name, index))
+        if record is None or record[1] != size:
+            return
+        actual = tile_checksum(self.slot(name, index).reshape(-1)[:size])
+        if actual != record[0]:
+            raise DataIntegrityError(
+                f"{self.owner or 'CPE'} SPM buffer {name!r} slot {index} "
+                f"failed its integrity check before an RMA re-send: "
+                f"crc {actual:#010x} != recorded {record[0]:#010x} over "
+                f"{size} elements"
+            )

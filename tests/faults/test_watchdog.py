@@ -1,0 +1,90 @@
+"""Recovery diagnostics: the executor watchdog and retry exhaustion.
+
+A dropped reply counter used to be the worst failure mode the simulator
+could have — an infinite spin in ``dma_wait_value`` with zero context.
+The watchdog turns it into a :class:`SynchronizationError` naming the
+stalled CPE, the reply counter, and the poisoned SPM buffer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CompilerOptions, GemmCompiler, GemmSpec
+from repro.errors import SynchronizationError, TransientFaultError
+from repro.faults import FaultPolicy, RetryPolicy
+from repro.runtime.executor import run_gemm
+from repro.sunway.arch import TOY_ARCH
+
+
+def run_with(policy, retry=None):
+    options = CompilerOptions.full().with_(
+        fault_policy=policy, retry_policy=retry or RetryPolicy()
+    )
+    program = GemmCompiler(TOY_ARCH, options).compile(GemmSpec())
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((32, 16))
+    B = rng.standard_normal((16, 32))
+    return run_gemm(program, A, B, np.zeros((32, 32)), beta=0.0)
+
+
+def test_dropped_reply_raises_instead_of_hanging():
+    policy = FaultPolicy(enabled=True, seed=3, reply_drop_rate=1.0)
+    with pytest.raises(SynchronizationError):
+        run_with(policy)
+
+
+def test_watchdog_error_names_cpe_and_buffer():
+    policy = FaultPolicy(enabled=True, seed=3, reply_drop_rate=1.0)
+    with pytest.raises(SynchronizationError) as exc_info:
+        run_with(policy)
+    message = str(exc_info.value)
+    assert "CPE(" in message                      # which core stalled
+    assert "reply" in message                     # which counter
+    assert "dropped" in message or "stalled" in message
+    # the poisoned buffer is named with its slot index
+    assert "[" in message and "]" in message
+
+
+def test_occasional_reply_drops_also_caught():
+    """A 30 % drop rate (not every reply) still must not hang: whichever
+    CPE first waits on a lost counter gets the diagnostic."""
+    policy = FaultPolicy(enabled=True, seed=11, reply_drop_rate=0.3)
+    with pytest.raises(SynchronizationError):
+        run_with(policy)
+
+
+def test_retry_exhaustion_names_transfer_and_budget():
+    policy = FaultPolicy(enabled=True, seed=3, dma_fault_rate=1.0)
+    retry = RetryPolicy(max_retries=2)
+    with pytest.raises(TransientFaultError) as exc_info:
+        run_with(policy, retry)
+    message = str(exc_info.value)
+    assert "CPE(" in message
+    assert "retry budget of 2" in message
+    assert "seed 3" in message
+
+
+def test_rma_retry_exhaustion():
+    policy = FaultPolicy(enabled=True, seed=3, rma_fault_rate=1.0)
+    with pytest.raises(TransientFaultError) as exc_info:
+        run_with(policy)
+    assert "rma" in str(exc_info.value).lower()
+
+
+def test_generous_retry_budget_survives_high_fault_rate():
+    """30 % transient faults with a 10-deep retry budget: still exact.
+
+    (11 consecutive faults on one message ≈ 0.3^11 ≈ 2e-6 — far below
+    one expected exhaustion over the few hundred transfers of this run.)
+    """
+    policy = FaultPolicy(
+        enabled=True, seed=3, dma_fault_rate=0.3, rma_fault_rate=0.3,
+        checksums=True,
+    )
+    retry = RetryPolicy(max_retries=10)
+    C, report = run_with(policy, retry)
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((32, 16))
+    B = rng.standard_normal((16, 32))
+    assert np.allclose(C, A @ B, atol=1e-11)
+    assert report.stats["dma_retries"] + report.stats["rma_retries"] > 10

@@ -1,0 +1,89 @@
+"""The chaos flags on the swgemm CLI."""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_with_injected_faults_still_verifies(tmp_path, capsys):
+    code = main([
+        "--cache-dir", str(tmp_path / "cache"),
+        "--inject-faults", "--fault-seed", "2022",
+        "run", "-M", "512", "-N", "512", "-K", "256",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "max |C - reference|" in out
+    assert "fault plane: seed 2022" in out
+    assert "transfer retries" in out
+
+
+def test_run_fault_report_shows_nonzero_retries(tmp_path, capsys):
+    main([
+        "--cache-dir", str(tmp_path / "cache"),
+        "--inject-faults", "--fault-rate", "0.1",
+        "run", "-M", "512", "-N", "512", "-K", "256",
+    ])
+    out = capsys.readouterr().out
+    line = next(l for l in out.splitlines() if l.startswith("fault plane"))
+    match = re.search(r"(\d+) transfer retries \((\d+) DMA, (\d+) RMA\)", line)
+    assert match is not None
+    assert int(match.group(1)) > 0
+    assert int(match.group(1)) == int(match.group(2)) + int(match.group(3))
+
+
+def test_exhausted_retries_exit_cleanly(tmp_path, capsys):
+    """--max-retries 0 under heavy faults: a one-line diagnostic error,
+    not a hang and not a traceback."""
+    code = main([
+        "--cache-dir", str(tmp_path / "cache"),
+        "--inject-faults", "--fault-rate", "1.0", "--max-retries", "0",
+        "run", "-M", "512", "-N", "512", "-K", "256",
+    ])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "swgemm: error:" in err
+    assert "retry budget" in err
+
+
+def test_cache_stats_reports_quarantine(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["--cache-dir", str(cache), "run",
+                 "-M", "512", "-N", "512", "-K", "256"]) == 0
+    # corrupt the artifact the run just cached
+    artifacts = [p for p in cache.glob("*.json") if p.name != "stats.json"]
+    assert artifacts
+    artifacts[0].write_text(artifacts[0].read_text()[:30])
+    capsys.readouterr()
+    # the next run quarantines + recompiles ...
+    assert main(["--cache-dir", str(cache), "run",
+                 "-M", "512", "-N", "512", "-K", "256"]) == 0
+    capsys.readouterr()
+    # ... and cache stats reports it
+    assert main(["--cache-dir", str(cache), "cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "quarantined" in out
+    assert any("quarantined" in l and ": 1" in l for l in out.splitlines())
+    assert (cache / "quarantine").is_dir()
+
+
+def test_cache_stats_json_includes_quarantine_fields(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["--cache-dir", str(cache), "cache", "stats", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert "quarantined" in report["disk"]
+    assert "quarantine_files" in report["disk"]
+
+
+def test_perf_accepts_fault_flags(tmp_path, capsys):
+    code = main([
+        "--cache-dir", str(tmp_path / "cache"),
+        "--inject-faults", "--fault-seed", "1",
+        "perf", "-M", "1024", "-N", "1024", "-K", "512",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Gflops" in out
