@@ -83,3 +83,24 @@ def test_all_variants_compile_quickly(benchmark):
 
     programs = benchmark(compile_all)
     assert len(programs) == 4
+
+
+def test_per_pass_breakdown(benchmark):
+    """The §8.5 number decomposed by paper stage: every compile carries a
+    per-pass wall-time block, and the stage timings sum to the total."""
+
+    def compile_once():
+        return GemmCompiler(SW26010PRO, CompilerOptions.full()).compile(
+            GemmSpec()
+        )
+
+    program = benchmark(compile_once)
+    stats = program.pass_stats
+    assert stats, "compiled programs must carry per-pass timings"
+    assert sum(s.seconds for s in stats) == program.codegen_seconds
+    breakdown = {s.name: s.seconds for s in stats}
+    assert "tile-selection" in breakdown
+    assert "ast-generation" in breakdown
+    # Every stage is sub-second on its own — the paper's point, made
+    # per paper section rather than in aggregate.
+    assert all(seconds < 1.0 for seconds in breakdown.values())

@@ -9,6 +9,14 @@ Mirrors the surface described in §8::
     swgemm perf -M 4096 -N 4096 -K 4096        # timed simulation vs xMath
     swgemm tree gemm.c                         # dump the schedule tree
 
+the pass-pipeline introspection surface::
+
+    swgemm passes list                         # the variant-aware pipeline
+    swgemm compile --print-after all           # IR snapshot after each pass
+    swgemm compile --print-after dma-derivation
+    swgemm compile --disable-pass latency-hiding   # == the §8.1 ablation
+    swgemm compile --dump-ir irdir             # one snapshot file per pass
+
 plus the compilation-service surface::
 
     swgemm cache stats                         # two-tier cache report
@@ -25,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -74,12 +83,11 @@ def _service_from_args(args) -> "CompileService":
     return CompileService(ServiceConfig(cache_dir=cache_dir))
 
 
-def _build_program(args, service=None) -> "CompiledProgram":
+def _spec_and_options(args):
     from repro.core.options import CompilerOptions
     from repro.frontend import extract_spec
-    from repro.sunway.arch import SW26010PRO
 
-    source = _load_source(args.source) if args.source else DEFAULT_GEMM_C
+    source = _load_source(args.source) if getattr(args, "source", None) else DEFAULT_GEMM_C
     spec, inferred = extract_spec(source, return_options=True)
     if args.no_use_asm or args.no_rma or args.no_hiding:
         options = CompilerOptions(
@@ -90,6 +98,53 @@ def _build_program(args, service=None) -> "CompiledProgram":
         )
     else:
         options = inferred
+    return spec, options
+
+
+def _introspection_requested(args) -> bool:
+    return bool(
+        getattr(args, "print_after", None)
+        or getattr(args, "disable_pass", None)
+        or getattr(args, "dump_ir", None)
+    )
+
+
+def _build_introspected(args, spec, options) -> "CompiledProgram":
+    """Direct (cache-bypassing) compile with pass-level introspection.
+
+    Snapshots live on the compile context, not on cached artifacts, so
+    ``--print-after`` / ``--dump-ir`` always run the real pipeline;
+    ``--disable-pass`` rides along for the same bit-exact guarantee.
+    """
+    from repro.core.pipeline import GemmCompiler
+    from repro.sunway.arch import SW26010PRO
+
+    compiler = GemmCompiler(
+        SW26010PRO, options, disable_passes=tuple(args.disable_pass or ())
+    )
+
+    def sink(pass_, header, snapshot):
+        print(header)
+        print(snapshot, end="")
+
+    program, ctx = compiler.compile_with_context(
+        spec, print_after=args.print_after or None, sink=sink
+    )
+    if args.dump_ir:
+        outdir = Path(args.dump_ir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        for index, (name, snapshot) in enumerate(ctx.snapshots.items(), 1):
+            (outdir / f"{index:02d}-{name}.txt").write_text(snapshot)
+        print(f"wrote {len(ctx.snapshots)} IR snapshot(s) to {outdir}")
+    return program
+
+
+def _build_program(args, service=None) -> "CompiledProgram":
+    from repro.sunway.arch import SW26010PRO
+
+    spec, options = _spec_and_options(args)
+    if _introspection_requested(args):
+        return _build_introspected(args, spec, options)
     fault_policy, retry_policy = _fault_policies_from_args(args)
     if fault_policy is not None:
         options = options.with_(
@@ -107,6 +162,10 @@ def cmd_compile(args) -> int:
     (outdir / "gemm_mpe.c").write_text(program.mpe_source())
     print(f"wrote {outdir}/gemm_cpe.c and {outdir}/gemm_mpe.c")
     print(f"code generation took {program.codegen_seconds * 1e3:.2f} ms")
+    for stat in program.pass_stats:
+        print(
+            f"  {stat.name:24s} {stat.section:10s} {stat.seconds * 1e3:7.3f} ms"
+        )
     print(f"SPM plan: {program.plan.describe()}")
     return 0
 
@@ -114,6 +173,25 @@ def cmd_compile(args) -> int:
 def cmd_tree(args) -> int:
     program = _build_program(args)
     print(program.tree_dump())
+    return 0
+
+
+def cmd_passes_list(args) -> int:
+    from repro.core.pipeline import GemmCompiler
+    from repro.sunway.arch import SW26010PRO
+
+    spec, options = _spec_and_options(args)
+    compiler = GemmCompiler(
+        SW26010PRO, options, disable_passes=tuple(args.disable_pass or ())
+    )
+    passes = compiler.pipeline_for(spec)
+    effective = compiler.effective_options(spec)
+    print(
+        f"pass pipeline for variant {effective.variant_name()!r} "
+        f"({len(passes)} passes, id {compiler.pipeline_identity_for(spec)}):"
+    )
+    for index, pass_ in enumerate(passes, 1):
+        print(f"{index:3d}. {pass_.name:24s} {pass_.section:10s} {pass_.summary}")
     return 0
 
 
@@ -291,14 +369,45 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-hiding", action="store_true",
                        help="disable memory latency hiding")
 
+    def add_introspection(p, with_snapshots=True):
+        p.add_argument(
+            "--disable-pass", action="append", metavar="PASS",
+            help="disable a pipeline pass (repeatable; e.g. latency-hiding, "
+            "rma-derivation) — rebuilds the matching ablation pipeline",
+        )
+        if with_snapshots:
+            p.add_argument(
+                "--print-after", action="append", metavar="PASS",
+                help="print the IR snapshot after the named pass "
+                "(repeatable; 'all' prints every pass; bypasses the cache)",
+            )
+            p.add_argument(
+                "--dump-ir", metavar="DIR",
+                help="write one numbered IR snapshot file per pass to DIR "
+                "(bypasses the cache)",
+            )
+
     p_compile = sub.add_parser("compile", help="generate athread C files")
     add_common(p_compile)
+    add_introspection(p_compile)
     p_compile.add_argument("-o", "--output", default="swgemm_out")
     p_compile.set_defaults(func=cmd_compile)
 
     p_tree = sub.add_parser("tree", help="dump the final schedule tree")
     add_common(p_tree)
+    add_introspection(p_tree)
     p_tree.set_defaults(func=cmd_tree)
+
+    p_passes = sub.add_parser(
+        "passes", help="inspect the compiler's pass pipeline"
+    )
+    passes_sub = p_passes.add_subparsers(dest="passes_command", required=True)
+    p_passes_list = passes_sub.add_parser(
+        "list", help="show the variant-aware pass pipeline and its identity"
+    )
+    add_common(p_passes_list)
+    add_introspection(p_passes_list, with_snapshots=False)
+    p_passes_list.set_defaults(func=cmd_passes_list)
 
     p_run = sub.add_parser("run", help="execute functionally on the simulator")
     add_common(p_run)
@@ -355,6 +464,12 @@ def main(argv=None) -> int:
         return 1
     except KeyboardInterrupt:
         return 130
+    except BrokenPipeError:
+        # Stdout consumer exited early (`swgemm ... | head`).  Detach
+        # stdout so the interpreter's exit-time flush does not raise a
+        # second time, and report the conventional 128+SIGPIPE status.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,11 +16,34 @@ End-to-end pipeline (§2.3):
    schedule tree into the AST that both the athread-C printer and the
    simulator-backed interpreter consume (§7).
 
-Public entry point: :class:`repro.core.pipeline.GemmCompiler`.
+Public entry point: :class:`repro.core.pipeline.GemmCompiler` — a thin
+facade over the instrumented pass pipeline of :mod:`repro.core.passes`
+(per-pass timings, IR snapshots, diagnostics, disable/replace hooks).
 """
 
 from repro.core.options import CompilerOptions
 from repro.core.spec import GemmSpec
 from repro.core.pipeline import GemmCompiler
+from repro.core.passes import (
+    CompileContext,
+    Pass,
+    PassManager,
+    build_pipeline,
+    pipeline_identity,
+    reconcile_options,
+)
+from repro.core.diagnostics import PassDiagnostic, PassStat
 
-__all__ = ["CompilerOptions", "GemmSpec", "GemmCompiler"]
+__all__ = [
+    "CompilerOptions",
+    "GemmSpec",
+    "GemmCompiler",
+    "CompileContext",
+    "Pass",
+    "PassManager",
+    "PassDiagnostic",
+    "PassStat",
+    "build_pipeline",
+    "pipeline_identity",
+    "reconcile_options",
+]

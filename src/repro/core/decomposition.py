@@ -35,6 +35,7 @@ from repro.errors import CompilationError
 from repro.core.options import CompilerOptions
 from repro.core.spec import GemmSpec
 from repro.core.tile_model import TilePlan
+from repro.sunway.arch import ArchSpec
 from repro.poly.affine import AffExpr, aff_const, aff_var
 from repro.poly.dependences import DependenceSummary, analyze_statement
 from repro.poly.schedule_tree import (
@@ -58,6 +59,10 @@ class Decomposition:
     reconstruction: Dict[str, AffExpr] = field(default_factory=dict)
     #: named bands for later surgery
     bands: Dict[str, BandNode] = field(default_factory=dict)
+    #: target architecture — used by the lowering for kernel naming/cost.
+    #: ``None`` only for decompositions built outside the compiler facade
+    #: (the lowering rejects those loudly).
+    arch: Optional[ArchSpec] = None
 
     @property
     def stmt(self) -> str:
@@ -86,10 +91,22 @@ def _check_parallelism(spec: GemmSpec, summary: DependenceSummary) -> None:
 
 
 def decompose(
-    spec: GemmSpec, plan: TilePlan, options: CompilerOptions
+    spec: GemmSpec,
+    plan: TilePlan,
+    options: CompilerOptions,
+    arch: Optional[ArchSpec] = None,
+    summary: Optional[DependenceSummary] = None,
 ) -> Decomposition:
-    """Run the full §3 pass and return the decorated schedule tree."""
-    summary = analyze_statement(spec.domain(), spec.accesses(), spec.loop_dims())
+    """Run the full §3 pass and return the decorated schedule tree.
+
+    ``arch`` is carried on the result for the lowering's kernel naming;
+    ``summary`` lets the pipeline's dependence-analysis pass feed its
+    (already checked) result in instead of re-analysing.
+    """
+    if summary is None:
+        summary = analyze_statement(
+            spec.domain(), spec.accesses(), spec.loop_dims()
+        )
     _check_parallelism(spec, summary)
 
     stmt = spec.stmt_name
@@ -269,6 +286,7 @@ def decompose(
         summary=summary,
         reconstruction=reconstruction,
         bands=bands,
+        arch=arch,
     )
 
 

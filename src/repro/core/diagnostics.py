@@ -1,0 +1,62 @@
+"""Structured per-pass diagnostics and timings.
+
+Every pass of the instrumented pipeline (:mod:`repro.core.passes`)
+reports what it decided and how long it took through these two small
+dataclasses.  They are deliberately dependency-free: both the pass
+manager (compile time) and :class:`~repro.runtime.program.CompiledProgram`
+(artifact time — a compact ``pass_stats`` block rides along in the
+serialized artifact) share them, and :mod:`repro.runtime.serde` registers
+them for the disk cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Diagnostic categories, in increasing severity.
+DIAGNOSTIC_CATEGORIES = ("info", "decision", "warning")
+
+
+@dataclass(frozen=True)
+class PassDiagnostic:
+    """One structured message emitted by a pass.
+
+    ``decision`` records a choice the compiler made and why ("RMA
+    broadcasts enabled: each DMA'd tile is reused 8x across the mesh"),
+    ``warning`` flags something the caller should look at, ``info`` is
+    narrative detail.
+    """
+
+    pass_name: str
+    category: str  # one of DIAGNOSTIC_CATEGORIES
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.pass_name}] {self.category}: {self.message}"
+
+
+@dataclass(frozen=True)
+class PassStat:
+    """Wall time and diagnostics of one executed pass.
+
+    The ``seconds`` of every stat in a program sum *exactly* to the
+    program's ``codegen_seconds`` — the facade defines the total as this
+    sum, so the §8.5 engineering-cost number decomposes per paper stage.
+    """
+
+    name: str
+    section: str  # paper section the pass reproduces, e.g. "§4"
+    seconds: float
+    diagnostics: Tuple[PassDiagnostic, ...] = ()
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "section": self.section,
+            "seconds": self.seconds,
+            "diagnostics": [
+                {"category": d.category, "message": d.message}
+                for d in self.diagnostics
+            ],
+        }

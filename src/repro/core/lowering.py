@@ -246,10 +246,9 @@ class GemmLowering:
 
 
 def _arch_of(dec: Decomposition):
-    # The decomposition does not carry the arch; the plan's mesh/tile data
-    # suffices for everything except kernel naming and timing, for which
-    # the pipeline stores the arch on the decomposition object.
-    arch = getattr(dec, "arch", None)
-    if arch is None:
+    # ``Decomposition.arch`` is a proper field, populated by ``decompose``
+    # when called through the compiler facade; it is only ``None`` for
+    # hand-built decompositions, which cannot be lowered.
+    if dec.arch is None:
         raise CodegenError("decomposition is missing its architecture reference")
-    return arch
+    return dec.arch

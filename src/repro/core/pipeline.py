@@ -1,151 +1,112 @@
 """The end-to-end compiler driver (§2.3, §7).
 
-``GemmCompiler.compile`` runs the full pass order the paper describes:
-dependence analysis → analytical tile selection → compute decomposition →
-DMA derivation → RMA insertion → latency hiding → micro-kernel mark →
-AST generation — and packages the result as a
-:class:`~repro.runtime.program.CompiledProgram`.
+``GemmCompiler`` is a thin facade over the instrumented pass pipeline of
+:mod:`repro.core.passes`: it reconciles the options against the spec,
+builds the variant-aware pass list (batched, fused, no-RMA and
+no-latency-hiding requests are pipeline edits, not branches inside
+passes), runs it through a :class:`~repro.core.passes.PassManager`, and
+packages the result as a :class:`~repro.runtime.program.CompiledProgram`
+carrying a compact per-pass ``pass_stats`` block.
 
 Compilation takes milliseconds; the paper's §8.5 contrasts exactly this
 ("seconds, including the integer linear solver") with the months of
-manual work behind the xMath library, so the driver records its own wall
-time on every run.
+manual work behind the xMath library, so the driver records per-pass
+wall time on every run — ``codegen_seconds`` is *defined* as the sum of
+the pass timings, so the engineering-cost number decomposes by paper
+stage.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional
+from typing import List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import CompilationError
-from repro.core.decomposition import Decomposition, decompose
-from repro.core.dma import derive_dma_specs
-from repro.core.latency_hiding import insert_communication
-from repro.core.lowering import MICRO_KERNEL_MARK, GemmLowering
 from repro.core.options import CompilerOptions
-from repro.core.rma import derive_rma_specs
+from repro.core.passes import (
+    CompileContext,
+    Pass,
+    PassManager,
+    SnapshotSink,
+    apply_disabled_passes,
+    build_pipeline,
+    pipeline_identity,
+    reconcile_options,
+)
 from repro.core.spec import GemmSpec
-from repro.core.tile_model import plan_for_kernel
-from repro.codegen.microkernel import get_kernel
-from repro.poly.affine import aff_const, aff_var
-from repro.poly.astgen import AstGenerator
-from repro.poly.astnodes import BufferDecl, CpeProgram, ReplyDecl
-from repro.poly.schedule_tree import parent_map
-from repro.poly.transforms import insert_mark
 from repro.runtime.program import CompiledProgram
 from repro.sunway.arch import SW26010PRO, ArchSpec
 
 
 class GemmCompiler:
-    """Compile naive GEMM specifications to SW26010Pro athread programs."""
+    """Compile naive GEMM specifications to SW26010Pro athread programs.
+
+    ``disable_passes`` removes disableable passes by rewriting the
+    effective options and rebuilding the pipeline — disabling
+    ``latency-hiding`` therefore reproduces the §8.1 no-hiding ablation
+    bit-exactly.  ``replacements`` swaps a named default pass for a
+    custom :class:`~repro.core.passes.Pass` instance.
+    """
 
     def __init__(
         self,
         arch: ArchSpec = SW26010PRO,
         options: Optional[CompilerOptions] = None,
+        disable_passes: Sequence[str] = (),
+        replacements: Optional[Mapping[str, Pass]] = None,
     ) -> None:
         self.arch = arch
         self.options = options or CompilerOptions()
+        self.disable_passes = tuple(disable_passes)
+        self.replacements = dict(replacements or {})
 
     # -- public API ---------------------------------------------------------
 
+    def effective_options(self, spec: GemmSpec) -> CompilerOptions:
+        """The reconciled option set this compiler would compile with."""
+        options = reconcile_options(spec, self.options)
+        return apply_disabled_passes(options, self.disable_passes)
+
+    def pipeline_for(self, spec: GemmSpec) -> List[Pass]:
+        """The variant-aware pass list for one spec."""
+        return build_pipeline(
+            spec, self.arch, self.effective_options(spec), self.replacements
+        )
+
+    def pipeline_identity_for(self, spec: GemmSpec) -> str:
+        return pipeline_identity(self.pipeline_for(spec))
+
     def compile(self, spec: GemmSpec) -> CompiledProgram:
-        started = time.perf_counter()
-        options = self._reconcile_options(spec)
-        plan = plan_for_kernel(
-            self.arch, options, trans_a=spec.trans_a, trans_b=spec.trans_b,
-            itemsize=spec.itemsize,
-        )
-        dec = decompose(spec, plan, options)
-        dec.arch = self.arch  # used by the lowering for kernel naming/cost
+        program, _ = self.compile_with_context(spec)
+        return program
 
-        dma_specs = derive_dma_specs(dec)
-        rma_specs = derive_rma_specs(dec) if plan.use_rma else None
+    def compile_with_context(
+        self,
+        spec: GemmSpec,
+        print_after: Optional[Sequence[str]] = None,
+        sink: Optional[SnapshotSink] = None,
+    ) -> Tuple[CompiledProgram, CompileContext]:
+        """Compile and hand back the pass context (snapshots, diagnostics).
 
-        self._mark_micro_kernel(dec)
-        insert_communication(dec, dma_specs, rma_specs)
-
-        lowering = GemmLowering(dec)
-        generator = AstGenerator(lowering)
-        body = generator.generate(dec.root, spec.param_names())
-
-        cpe_program = CpeProgram(
-            buffers=self._buffer_decls(dec),
-            replies=self._reply_decls(dec, dma_specs, rma_specs),
-            body=body,
-            kernel_name=get_kernel(self.arch, options.use_asm).name,
-        )
-        elapsed = time.perf_counter() - started
-        return CompiledProgram(
+        This is the introspection entry point behind ``swgemm compile
+        --print-after`` / ``--dump-ir``: the returned context holds one
+        IR snapshot per executed pass and every structured diagnostic.
+        """
+        options = self.effective_options(spec)
+        passes = self.pipeline_for(spec)
+        ctx = CompileContext(spec=spec, arch=self.arch, options=options)
+        manager = PassManager(passes, print_after=print_after, sink=sink)
+        manager.run(ctx)
+        stats = tuple(ctx.stats)
+        program = CompiledProgram(
             spec=spec,
             options=options,
             arch=self.arch,
-            plan=plan,
-            decomposition=dec,
-            cpe_program=cpe_program,
-            codegen_seconds=elapsed,
+            plan=ctx.plan,
+            decomposition=ctx.decomposition,
+            cpe_program=ctx.cpe_program,
+            codegen_seconds=sum(s.seconds for s in stats),
+            pass_stats=stats,
         )
-
-    # -- helpers ----------------------------------------------------------------
-
-    def _reconcile_options(self, spec: GemmSpec) -> CompilerOptions:
-        options = self.options
-        if spec.is_batched and not options.batch:
-            raise CompilationError(
-                "batched input requires the --batch compiler option"
-            )
-        if spec.prologue_func and options.fusion != "prologue":
-            options = options.with_(fusion="prologue", prologue_func=spec.prologue_func)
-        if spec.epilogue_func and options.fusion != "epilogue":
-            options = options.with_(fusion="epilogue", epilogue_func=spec.epilogue_func)
-        if options.fusion == "prologue" and not spec.prologue_func:
-            raise CompilationError("prologue fusion requested but spec has none")
-        if options.fusion == "epilogue" and not spec.epilogue_func:
-            raise CompilationError("epilogue fusion requested but spec has none")
-        return options
-
-    def _mark_micro_kernel(self, dec: Decomposition) -> None:
-        plan = dec.plan
-        point = dec.bands["point"]
-        parents = parent_map(dec.root)
-        parent = parents.get(id(point))
-        if parent is None:
-            raise CompilationError("point band has no parent")
-        if plan.use_rma:
-            a_buffer, b_buffer = "local_A_bc", "local_B_bc"
-            slot = aff_var("km").mod(2) if plan.double_buffered else aff_const(0)
-        else:
-            a_buffer, b_buffer = "local_A_dma", "local_B_dma"
-            slot = aff_var("ktile").mod(2) if plan.double_buffered else aff_const(0)
-        insert_mark(
-            parent,
-            point,
-            MICRO_KERNEL_MARK,
-            payload={
-                "a_buffer": a_buffer,
-                "a_slot": slot,
-                "b_buffer": b_buffer,
-                "b_slot": slot,
-            },
-        )
-
-    def _buffer_decls(self, dec: Decomposition) -> List[BufferDecl]:
-        ctype = "double" if dec.spec.dtype == "float64" else "float"
-        return [
-            BufferDecl(b.name, b.shape, ctype) for b in dec.plan.buffers
-        ]
-
-    def _reply_decls(self, dec, dma_specs, rma_specs) -> List[ReplyDecl]:
-        slots = 2 if dec.plan.double_buffered else 1
-        decls: Dict[str, ReplyDecl] = {}
-        for spec in dma_specs.values():
-            count = slots if spec.reply not in ("get_replyC", "put_replyC") else 1
-            decls[spec.reply] = ReplyDecl(spec.reply, count)
-        if rma_specs:
-            for spec in rma_specs.values():
-                decls[spec.replys] = ReplyDecl(spec.replys, slots)
-                decls[spec.replyr] = ReplyDecl(spec.replyr, slots)
-        return list(decls.values())
+        return program, ctx
 
 
 def compile_gemm(

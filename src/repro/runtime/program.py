@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.decomposition import Decomposition
+from repro.core.diagnostics import PassStat
 from repro.core.options import CompilerOptions
 from repro.core.spec import GemmSpec
 from repro.core.tile_model import TilePlan
@@ -31,6 +32,11 @@ class CompiledProgram:
     decomposition: Decomposition
     cpe_program: CpeProgram
     codegen_seconds: float = 0.0
+    #: Compact per-pass breakdown (name, paper section, seconds,
+    #: diagnostics).  ``codegen_seconds == sum(s.seconds for s in
+    #: pass_stats)`` by construction; empty for artifacts produced before
+    #: the instrumented pipeline existed.
+    pass_stats: Tuple[PassStat, ...] = ()
 
     @property
     def tree(self) -> DomainNode:
@@ -70,6 +76,7 @@ class CompiledProgram:
             "arch": self.arch.describe(),
             "spm_bytes": self.spm_bytes(),
             "codegen_seconds": round(self.codegen_seconds, 6),
+            "passes": [s.name for s in self.pass_stats],
         }
 
     # -- serialization -------------------------------------------------------
@@ -87,6 +94,7 @@ class CompiledProgram:
             "decomposition": serde.encode(self.decomposition),
             "cpe_program": serde.encode(self.cpe_program),
             "codegen_seconds": self.codegen_seconds,
+            "pass_stats": serde.encode(list(self.pass_stats)),
         }
 
     @classmethod
@@ -101,9 +109,13 @@ class CompiledProgram:
             )
         arch = serde.decode(data["arch"])
         decomposition = serde.decode(data["decomposition"])
-        # The pipeline stores the arch on the decomposition for the
-        # lowering's kernel naming; restore the invariant after a reload.
+        # Artifacts written before Decomposition.arch became a real field
+        # (and before the field entered the serde payload) reload with
+        # arch=None; restore the invariant either way.
         decomposition.arch = arch
+        # ``pass_stats`` is likewise absent from pre-pipeline artifacts:
+        # they must still load (with an empty breakdown), not quarantine.
+        stats = data.get("pass_stats")
         return cls(
             spec=serde.decode(data["spec"]),
             options=serde.decode(data["options"]),
@@ -112,6 +124,7 @@ class CompiledProgram:
             decomposition=decomposition,
             cpe_program=serde.decode(data["cpe_program"]),
             codegen_seconds=float(data.get("codegen_seconds", 0.0)),
+            pass_stats=tuple(serde.decode(stats)) if stats is not None else (),
         )
 
     # -- source rendering ----------------------------------------------------

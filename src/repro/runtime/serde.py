@@ -111,6 +111,7 @@ def decode(data: Any) -> Any:
 
 def _register_all() -> None:
     from repro.core.decomposition import Decomposition
+    from repro.core.diagnostics import PassDiagnostic, PassStat
     from repro.core.dma import DmaSpec
     from repro.core.options import CompilerOptions
     from repro.core.rma import RmaSpec
@@ -283,6 +284,8 @@ def _register_all() -> None:
         RmaSpec,
         MicroKernelShape,
         ArchSpec,
+        PassDiagnostic,
+        PassStat,
     ):
         register_dataclass(cls)
 
@@ -306,6 +309,7 @@ def _register_all() -> None:
             "summary": encode(dec_obj.summary),
             "reconstruction": encode(dec_obj.reconstruction),
             "bands": bands,
+            "arch": encode(dec_obj.arch),
         }
 
     def dec_dec(p: dict):
@@ -319,6 +323,9 @@ def _register_all() -> None:
             summary=decode(p["summary"]),
             reconstruction=decode(p["reconstruction"]),
             bands={name: nodes[index] for name, index in p["bands"].items()},
+            # Absent in artifacts written before the arch became a field;
+            # CompiledProgram.from_dict re-stamps it on reload.
+            arch=decode(p.get("arch")),
         )
 
     register(Decomposition, "Decomposition", enc_dec, dec_dec)

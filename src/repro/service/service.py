@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.options import CompilerOptions
+from repro.core.passes import reconcile_options
 from repro.core.pipeline import GemmCompiler
 from repro.core.spec import GemmSpec
 from repro.faults import FaultInjector, FaultPolicy
@@ -215,6 +216,12 @@ class CompileService:
     def _get(
         self, spec: GemmSpec, arch: ArchSpec, options: CompilerOptions
     ) -> Tuple[CompiledProgram, str]:
+        # Reconcile up front (preserving the runtime-only fault/retry
+        # policies, which reconciliation never touches): the reconciled
+        # set is what the compiler compiles with, what cache_key hashes,
+        # and what _restamp stamps onto cache hits — a hit can never hand
+        # back options the compile itself would have rewritten.
+        options = reconcile_options(spec, options)
         with self._lock:
             self.requests += 1
         if not self.config.enabled:

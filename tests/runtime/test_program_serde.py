@@ -127,3 +127,35 @@ def test_encode_rejects_unregistered_types():
 def test_decode_rejects_unknown_tag():
     with pytest.raises(serde.SerializationError):
         serde.decode({"$": "no-such-tag", "v": {}})
+
+
+def test_round_trip_pass_stats(program, reloaded):
+    assert reloaded.pass_stats == program.pass_stats
+    assert [s.name for s in reloaded.pass_stats] == [
+        s.name for s in program.pass_stats
+    ]
+    assert any(s.diagnostics for s in reloaded.pass_stats)
+    assert reloaded.codegen_seconds == sum(
+        s.seconds for s in reloaded.pass_stats
+    )
+
+
+def test_round_trip_decomposition_arch(program, reloaded):
+    assert reloaded.decomposition.arch == program.arch
+
+
+def test_legacy_artifact_without_pass_stats_loads(program):
+    """Pre-refactor artifacts predate ``pass_stats`` and the
+    ``Decomposition.arch`` field; they must load (with empty stats), not
+    quarantine."""
+    data = json.loads(json.dumps(program.to_dict()))
+    del data["pass_stats"]
+    dec_payload = data["decomposition"]["v"]
+    assert "arch" in dec_payload
+    del dec_payload["arch"]
+    legacy = CompiledProgram.from_dict(data)
+    assert legacy.pass_stats == ()
+    # from_dict restamps the program's arch onto the decomposition.
+    assert legacy.decomposition.arch == program.arch
+    assert legacy.tree_dump() == program.tree_dump()
+    assert legacy.cpe_source() == program.cpe_source()

@@ -62,3 +62,71 @@ def test_key_ignores_problem_shape():
         GemmSpec(m_param="M", n_param="N", k_param="K")
     )
     assert cache_key(GemmSpec(m_param="Rows")) != cache_key(GemmSpec())
+
+
+def test_key_excludes_runtime_policies():
+    from repro.faults import FaultPolicy
+
+    base = cache_key(GemmSpec(), SW26010PRO, CompilerOptions.full())
+    noisy = CompilerOptions.full().with_(
+        fault_policy=FaultPolicy(enabled=True, seed=7)
+    )
+    assert cache_key(GemmSpec(), SW26010PRO, noisy) == base
+
+
+def test_fused_and_unfused_specs_never_collide():
+    """Regression for the old silent option rebinding: reconciliation
+    must not make a fused spec alias the unfused one."""
+    options = CompilerOptions.full()
+    plain = cache_key(GemmSpec(), SW26010PRO, options)
+    fused = cache_key(GemmSpec(epilogue_func="relu"), SW26010PRO, options)
+    assert plain != fused
+
+
+def test_implied_and_explicit_fusion_share_a_key():
+    """A fused spec compiled with plain options is reconciled to the same
+    kernel as one compiled with the explicit fusion options — one key."""
+    spec = GemmSpec(epilogue_func="relu")
+    implied = cache_key(spec, SW26010PRO, CompilerOptions.full())
+    explicit = cache_key(
+        spec,
+        SW26010PRO,
+        CompilerOptions.full().with_(fusion="epilogue", epilogue_func="relu"),
+    )
+    assert implied == explicit
+
+
+def test_inert_knobs_do_not_fragment_the_cache():
+    spec = GemmSpec()  # unbatched, unfused
+    base = cache_key(spec, SW26010PRO, CompilerOptions.full())
+    inert_batch = cache_key(
+        spec, SW26010PRO, CompilerOptions.full().with_(batch=True)
+    )
+    inert_fusion_func = cache_key(
+        spec, SW26010PRO, CompilerOptions.full().with_(epilogue_func="sigmoid")
+    )
+    assert inert_batch == base
+    assert inert_fusion_func == base
+
+
+def test_key_sensitive_to_pipeline():
+    """Editing the pass pipeline invalidates exactly the affected keys."""
+    from repro.core import GemmCompiler, build_pipeline
+    from repro.core.passes import TileSelectionPass
+
+    spec, options = GemmSpec(), CompilerOptions.full()
+    base = cache_key(spec, SW26010PRO, options)
+    default = build_pipeline(spec, SW26010PRO, options)
+    assert cache_key(spec, SW26010PRO, options, pipeline=default) == base
+
+    class CustomTileSelection(TileSelectionPass):
+        pass
+
+    custom = GemmCompiler(
+        SW26010PRO,
+        options,
+        replacements={"tile-selection": CustomTileSelection()},
+    ).pipeline_for(spec)
+    assert cache_key(spec, SW26010PRO, options, pipeline=custom) != base
+    # A precomputed identity string is accepted in place of the list.
+    assert cache_key(spec, SW26010PRO, options, pipeline="deadbeef") != base

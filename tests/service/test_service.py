@@ -230,3 +230,32 @@ def test_persistent_stats_accumulate_across_instances(tmp_path):
     assert persistent["requests"] == 2
     assert persistent["compiles"] == 1
     assert persistent["memory_hits"] == 1
+
+
+def test_cache_hits_are_stamped_with_reconciled_options():
+    """Regression: a memory hit must carry the options the compile would
+    have reconciled to, not the caller's raw (inert-flagged) set."""
+    service = CompileService(ServiceConfig())
+    spec = GemmSpec()  # unbatched: the batch flag is inert
+    first = service.get_program(spec, TOY_ARCH, CompilerOptions.full())
+    hit = service.get_program(
+        spec, TOY_ARCH, CompilerOptions.full().with_(batch=True)
+    )
+    assert hit.options == first.options
+    assert hit.options.batch is False
+    # Both requests address the same artifact.
+    assert service.compile_count == 1
+
+
+def test_reconciliation_preserves_runtime_policies_on_hits():
+    from repro.faults import FaultPolicy
+
+    service = CompileService(ServiceConfig())
+    spec = GemmSpec()
+    service.get_program(spec, TOY_ARCH, CompilerOptions.full())
+    policy = FaultPolicy(enabled=True, seed=11)
+    hit = service.get_program(
+        spec, TOY_ARCH, CompilerOptions.full().with_(fault_policy=policy)
+    )
+    assert service.compile_count == 1
+    assert hit.options.fault_policy == policy

@@ -1,0 +1,135 @@
+"""Property tests for the trace interval math.
+
+``_merge`` / ``_intersection_length`` back every overlap number the
+Fig. 10 reproduction reports; these tests pin their algebra down on an
+integer grid (where a brute-force point count is an exact oracle) and on
+the edge shapes that historically break interval code: touching spans,
+zero-length spans, and covers that straddle gap boundaries.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sunway.trace import (
+    TraceRecorder,
+    _intersection_length,
+    _merge,
+    _union_length,
+)
+
+# Small integer endpoints: unit cells make brute-force counting exact and
+# shrink to readable counterexamples.
+span = st.tuples(
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=0, max_value=30),
+).map(lambda t: (float(min(t)), float(max(t))))
+spans = st.lists(span, max_size=12)
+
+
+def covered_cells(span_list):
+    """The set of unit cells [i, i+1) inside the union of ``span_list``."""
+    cells = set()
+    for start, end in span_list:
+        cells.update(range(int(start), int(end)))
+    return cells
+
+
+# -- _merge ------------------------------------------------------------------
+
+
+@given(spans)
+@settings(max_examples=200)
+def test_merge_is_sorted_disjoint_and_length_preserving(span_list):
+    merged = _merge(span_list)
+    # Strictly increasing, non-touching, well-formed intervals.
+    for start, end in merged:
+        assert start <= end
+    for (_, prev_end), (next_start, _) in zip(merged, merged[1:]):
+        assert prev_end < next_start
+    # Union is preserved exactly (integer grid ⇒ exact comparison).
+    assert covered_cells(merged) == covered_cells(span_list)
+    assert _union_length(merged) == _union_length(span_list)
+
+
+@given(spans)
+@settings(max_examples=100)
+def test_merge_is_idempotent_and_order_insensitive(span_list):
+    merged = _merge(span_list)
+    assert _merge(merged) == merged
+    assert _merge(list(reversed(span_list))) == merged
+
+
+def test_merge_touching_spans_coalesce():
+    assert _merge([(0.0, 1.0), (1.0, 2.0)]) == [(0.0, 2.0)]
+
+
+def test_merge_zero_length_spans():
+    # A zero-length span adds no length and must not split a merge.
+    assert _union_length([(1.0, 1.0)]) == 0.0
+    assert _merge([(0.0, 2.0), (1.0, 1.0), (2.0, 2.0)]) == [(0.0, 2.0)]
+
+
+# -- _intersection_length ----------------------------------------------------
+
+
+@given(spans, spans)
+@settings(max_examples=200)
+def test_intersection_matches_brute_force(span_list, cover):
+    expected = len(covered_cells(span_list) & covered_cells(cover))
+    assert _intersection_length(span_list, cover) == float(expected)
+
+
+@given(spans, spans)
+@settings(max_examples=100)
+def test_intersection_is_bounded_and_symmetric(span_list, cover):
+    length = _intersection_length(span_list, cover)
+    assert 0.0 <= length <= min(
+        _union_length(span_list), _union_length(cover)
+    )
+    assert length == _intersection_length(cover, span_list)
+
+
+@given(spans)
+@settings(max_examples=100)
+def test_self_intersection_is_union_length(span_list):
+    assert _intersection_length(span_list, span_list) == _union_length(
+        span_list
+    )
+
+
+def test_intersection_empty_cover():
+    assert _intersection_length([(0.0, 5.0)], []) == 0.0
+    assert _intersection_length([], [(0.0, 5.0)]) == 0.0
+
+
+def test_intersection_cover_straddles_gap():
+    # One cover interval bridging the gap between two spans: only the
+    # in-span parts count.
+    spans_ = [(0.0, 2.0), (4.0, 6.0)]
+    cover = [(1.0, 5.0)]
+    assert _intersection_length(spans_, cover) == 2.0
+    # Cover that starts exactly at a span's end contributes nothing to it.
+    assert _intersection_length([(0.0, 2.0)], [(2.0, 4.0)]) == 0.0
+
+
+# -- TraceRecorder -----------------------------------------------------------
+
+
+def test_recorder_drops_empty_and_inverted_spans():
+    recorder = TraceRecorder()
+    recorder.record("dma", 1.0, 1.0, "ch0")  # zero-length
+    recorder.record("dma", 3.0, 2.0, "ch0")  # inverted
+    recorder.record("dma", 2.0, 3.0, "ch0")  # valid
+    assert recorder.spans("dma") == [(2.0, 3.0)]
+    assert recorder.busy_time("dma") == 1.0
+
+
+@given(st.lists(span, max_size=20))
+@settings(max_examples=100)
+def test_recorder_busy_time_matches_union(span_list):
+    recorder = TraceRecorder()
+    for start, end in span_list:
+        recorder.record("kernel", start, end, "CPE(0,0)")
+    kept = [(s, e) for s, e in span_list if e > s]
+    assert recorder.busy_time("kernel") == _union_length(kept)
+    assert recorder.busy_time("dma") == 0.0
