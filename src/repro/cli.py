@@ -24,6 +24,14 @@ plus the compilation-service surface::
     swgemm cache clear                         # drop all artifacts
     swgemm --no-cache perf ...                 # bypass the kernel cache
 
+and the admission-control surface::
+
+    swgemm verify gemm.c                       # per-check safety report
+    swgemm compile --explain-verify            # report alongside codegen
+    swgemm run --guarded ...                   # certificate-checked run
+    swgemm compile --no-verify                 # escape hatch (bit-exact code)
+    swgemm --timeout 10 compile ...            # structured compile deadline
+
 Programs are obtained through :class:`repro.service.CompileService`, so
 repeated invocations reuse on-disk artifacts under ``~/.cache/swgemm``
 (override with ``$SWGEMM_CACHE_DIR`` or ``--cache-dir``).
@@ -83,6 +91,31 @@ def _service_from_args(args) -> "CompileService":
     return CompileService(ServiceConfig(cache_dir=cache_dir))
 
 
+def _validate_cache_dir(args) -> None:
+    """Fail the cache subcommands with a structured message (not a
+    traceback) when an explicit ``--cache-dir`` cannot be used."""
+    from repro.errors import ConfigurationError
+
+    explicit = getattr(args, "cache_dir", None)
+    if not explicit or getattr(args, "no_cache", False):
+        return
+    path = Path(explicit).expanduser()
+    if not path.exists():
+        # A missing directory is created on first use; but a dead parent
+        # chain (e.g. a path through a regular file) cannot be.
+        parent = path.parent
+        if parent.exists() and not parent.is_dir():
+            raise ConfigurationError(
+                f"cannot create cache directory {path}: {parent} is not "
+                "a directory"
+            )
+        return
+    if not path.is_dir():
+        raise ConfigurationError(f"cache path {path} is not a directory")
+    if not os.access(path, os.R_OK | os.X_OK):
+        raise ConfigurationError(f"cache directory {path} is not readable")
+
+
 def _spec_and_options(args):
     from repro.core.options import CompilerOptions
     from repro.frontend import extract_spec
@@ -98,6 +131,8 @@ def _spec_and_options(args):
         )
     else:
         options = inferred
+    if getattr(args, "no_verify", False):
+        options = options.with_(verify=False)
     return spec, options
 
 
@@ -128,7 +163,8 @@ def _build_introspected(args, spec, options) -> "CompiledProgram":
         print(snapshot, end="")
 
     program, ctx = compiler.compile_with_context(
-        spec, print_after=args.print_after or None, sink=sink
+        spec, print_after=args.print_after or None, sink=sink,
+        timeout_s=getattr(args, "timeout", None),
     )
     if args.dump_ir:
         outdir = Path(args.dump_ir)
@@ -151,7 +187,9 @@ def _build_program(args, service=None) -> "CompiledProgram":
             fault_policy=fault_policy, retry_policy=retry_policy
         )
     service = service or _service_from_args(args)
-    return service.get_program(spec, SW26010PRO, options)
+    return service.get_program(
+        spec, SW26010PRO, options, timeout_s=getattr(args, "timeout", None)
+    )
 
 
 def cmd_compile(args) -> int:
@@ -167,7 +205,36 @@ def cmd_compile(args) -> int:
             f"  {stat.name:24s} {stat.section:10s} {stat.seconds * 1e3:7.3f} ms"
         )
     print(f"SPM plan: {program.plan.describe()}")
+    if getattr(args, "explain_verify", False):
+        if getattr(args, "no_verify", False) or program.verification is None:
+            # A cached artifact may still carry a report (verified and
+            # unverified compiles share one cache entry); the user asked
+            # to skip the gate, so do not render it as if it had run.
+            print("verification: no report attached (compiled with --no-verify)")
+        else:
+            print(program.verification.render())
     return 0
+
+
+def cmd_verify(args) -> int:
+    """Run the admission verifier explicitly and report, instead of
+    compiling through the gate (which would raise on the first failure)."""
+    from repro.core.pipeline import GemmCompiler
+    from repro.sunway.arch import SW26010PRO
+    from repro.verify import verify_program
+
+    spec, options = _spec_and_options(args)
+    # Compile without the terminal gate so a failing kernel still yields
+    # a full report (the gate would abort at the first failed check).
+    program = GemmCompiler(SW26010PRO, options.with_(verify=False)).compile(
+        spec, timeout_s=getattr(args, "timeout", None)
+    )
+    report = verify_program(program)
+    if args.json:
+        print(json.dumps(report.describe(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_tree(args) -> int:
@@ -203,10 +270,19 @@ def cmd_run(args) -> int:
     A = rng.standard_normal((args.M, args.K))
     B = rng.standard_normal((args.K, args.N))
     C = np.zeros((args.M, args.N))
-    C, report = run_gemm(program, A, B, C, alpha=args.alpha, beta=0.0)
+    guarded = getattr(args, "guarded", False)
+    C, report = run_gemm(
+        program, A, B, C, alpha=args.alpha, beta=0.0, guarded=guarded
+    )
     reference = args.alpha * (A @ B)
     error = float(np.abs(C - reference).max())
     print(f"max |C - reference| = {error:.3e}")
+    if guarded:
+        print(
+            f"guarded mode: {int(report.stats.get('guard_events', 0))} "
+            f"events checked against the certificate, "
+            f"{int(report.stats.get('guard_divergences', 0))} divergences"
+        )
     print(
         f"simulated time {report.elapsed_seconds * 1e3:.3f} ms "
         f"({report.gflops:.1f} Gflops of useful work)"
@@ -249,6 +325,7 @@ def cmd_perf(args) -> int:
 
 
 def cmd_cache_stats(args) -> int:
+    _validate_cache_dir(args)
     service = _service_from_args(args)
     report = service.stats()
     if args.json:
@@ -269,6 +346,8 @@ def cmd_cache_stats(args) -> int:
         ("compiles", "compiles"),
         ("deduped in flight", "deduped"),
         ("quarantined", "quarantined"),
+        ("verified on load", "verified_on_load"),
+        ("verify rejected", "verify_rejected"),
     ):
         print(f"  {label:>18s}: {int(persistent.get(key, 0))}")
     qfiles = int(disk.get("quarantine_files", 0))
@@ -282,6 +361,7 @@ def cmd_cache_stats(args) -> int:
 
 
 def cmd_cache_clear(args) -> int:
+    _validate_cache_dir(args)
     service = _service_from_args(args)
     removed = service.clear()
     if service.store is not None:
@@ -291,6 +371,7 @@ def cmd_cache_clear(args) -> int:
 
 
 def cmd_cache_warmup(args) -> int:
+    _validate_cache_dir(args)
     service = _service_from_args(args)
     started = time.perf_counter()
     rows = service.warmup(workers=args.workers)
@@ -338,6 +419,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print full tracebacks instead of one-line errors",
     )
     parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="compile deadline in wall seconds; exceeding it raises a "
+        "structured CompileTimeout instead of hanging",
+    )
+    parser.add_argument(
         "--inject-faults", action="store_true",
         help="enable the deterministic fault-injection plane (chaos preset)",
     )
@@ -368,6 +454,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable RMA broadcasts")
         p.add_argument("--no-hiding", action="store_true",
                        help="disable memory latency hiding")
+        p.add_argument("--no-verify", action="store_true",
+                       help="skip the admission verifier (escape hatch; "
+                       "generated code is bit-exact either way)")
 
     def add_introspection(p, with_snapshots=True):
         p.add_argument(
@@ -391,7 +480,19 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_compile)
     add_introspection(p_compile)
     p_compile.add_argument("-o", "--output", default="swgemm_out")
+    p_compile.add_argument(
+        "--explain-verify", action="store_true",
+        help="print the admission verifier's per-check report",
+    )
     p_compile.set_defaults(func=cmd_compile)
+
+    p_verify = sub.add_parser(
+        "verify", help="run the kernel admission verifier and report"
+    )
+    add_common(p_verify)
+    p_verify.add_argument("--json", action="store_true",
+                          help="machine-readable report")
+    p_verify.set_defaults(func=cmd_verify)
 
     p_tree = sub.add_parser("tree", help="dump the final schedule tree")
     add_common(p_tree)
@@ -415,6 +516,11 @@ def build_parser() -> argparse.ArgumentParser:
         p_run.add_argument(f"-{dim}", type=int, default=default)
     p_run.add_argument("--alpha", type=float, default=1.0)
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--guarded", action="store_true",
+        help="cross-check every DMA/RMA/SPM event against the admission "
+        "certificate (fails loudly on divergence)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_perf = sub.add_parser("perf", help="timed simulation vs xMath")
@@ -470,6 +576,13 @@ def main(argv=None) -> int:
         # second time, and report the conventional 128+SIGPIPE status.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 141
+    except OSError as exc:
+        # Unreadable cache directories, permission problems and the like
+        # are operator errors, not crashes: message + nonzero exit.
+        if args.debug:
+            raise
+        print(f"swgemm: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

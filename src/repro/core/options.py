@@ -52,6 +52,11 @@ class CompilerOptions:
     fault_policy: Optional[FaultPolicy] = None
     #: Recovery behaviour for transient faults (``--max-retries``).
     retry_policy: Optional[RetryPolicy] = None
+    #: Run the static safety verifier as the pipeline's terminal pass
+    #: (``--no-verify`` disables it — the §8.1 ablation escape hatch).
+    #: Normalised away in cache keys: verified and unverified compiles
+    #: of the same request produce the same code.
+    verify: bool = True
 
     def __post_init__(self) -> None:
         if self.fusion not in FUSION_MODES:

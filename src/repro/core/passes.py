@@ -32,7 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import CompilationError, ConfigurationError
+from repro.errors import CompilationError, CompileTimeout, ConfigurationError
 from repro.core.decomposition import (
     Decomposition,
     _check_parallelism,
@@ -143,6 +143,8 @@ class CompileContext:
     dma_specs: Optional[Dict[str, DmaSpec]] = None
     rma_specs: Optional[Dict[str, RmaSpec]] = None
     cpe_program: Optional[CpeProgram] = None
+    #: the admission verifier's report (repro.verify.VerificationReport)
+    verification: Optional[object] = None
 
     diagnostics: List[PassDiagnostic] = field(default_factory=list)
     stats: List[PassStat] = field(default_factory=list)
@@ -245,6 +247,8 @@ class CompileContext:
                 f"buffers={len(program.buffers)} replies={len(program.replies)} "
                 f"statements={sum(1 for _ in walk_stmts(program.body))}"
             )
+        if self.verification is not None:
+            lines.append(f"verification: {self.verification.summary()}")
         tree = (
             self.decomposition.root.dump()
             if self.decomposition is not None
@@ -587,6 +591,42 @@ class AstGenerationPass(Pass):
         )
 
 
+class VerificationPass(Pass):
+    """Terminal admission gate: the static kernel-safety verifier.
+
+    Runs the four checks of :mod:`repro.verify` over the lowered program
+    and attaches the resulting report to the context; a failing report
+    aborts compilation with a structured :class:`KernelAdmissionError`
+    naming the witness, so no unproven kernel ever leaves the pipeline.
+    """
+
+    name = "verify"
+    section = "§4-§6"
+    summary = "prove SPM budget, DMA bounds, hazard and RMA safety"
+
+    def run(self, ctx: CompileContext) -> None:
+        # Imported lazily: repro.verify sits above the core layer.
+        from repro.verify import admit, run_checks
+
+        report = run_checks(
+            spec=ctx.spec,
+            arch=ctx.arch,
+            options=ctx.options,
+            plan=ctx.require(ctx.plan, "a tile plan"),
+            dma_specs=ctx.require(ctx.dma_specs, "DMA specs"),
+            rma_specs=ctx.rma_specs,
+            cpe_program=ctx.require(ctx.cpe_program, "the CPE AST"),
+        )
+        ctx.verification = report
+        for check in report.checks:
+            ctx.diag(
+                "verify",
+                f"{check.name}: {check.status}"
+                + (f" — {check.detail}" if check.detail else ""),
+            )
+        admit(report)
+
+
 def _buffer_decls(dec: Decomposition) -> List[BufferDecl]:
     ctype = "double" if dec.spec.dtype == "float64" else "float"
     return [BufferDecl(b.name, b.shape, ctype) for b in dec.plan.buffers]
@@ -614,6 +654,7 @@ def _reply_decls(dec, dma_specs, rma_specs) -> List[ReplyDecl]:
 DISABLE_REWRITES: Dict[str, Dict[str, object]] = {
     LatencyHidingPass.name: {"enable_latency_hiding": False},
     RmaDerivationPass.name: {"enable_rma": False},
+    VerificationPass.name: {"verify": False},
 }
 
 
@@ -664,6 +705,8 @@ def build_pipeline(
     else:
         passes.append(CommunicationSchedulePass())
     passes.append(AstGenerationPass())
+    if options.verify:
+        passes.append(VerificationPass())
 
     if replacements:
         by_name = {p.name: i for i, p in enumerate(passes)}
@@ -733,9 +776,21 @@ class PassManager:
     def identity(self) -> str:
         return pipeline_identity(self.passes)
 
-    def run(self, ctx: CompileContext) -> CompileContext:
+    def run(
+        self, ctx: CompileContext, deadline: Optional[float] = None
+    ) -> CompileContext:
+        """Run the pipeline; ``deadline`` is an absolute
+        ``time.monotonic()`` instant past which compilation aborts with
+        a structured :class:`CompileTimeout` (checked between passes —
+        individual passes are short, so the wall-time overshoot is
+        bounded by one pass)."""
         total = len(self.passes)
         for index, pass_ in enumerate(self.passes, start=1):
+            if deadline is not None and time.monotonic() >= deadline:
+                raise CompileTimeout(
+                    f"compile deadline exceeded before pass {index}/{total} "
+                    f"({pass_.name!r})"
+                )
             ctx.current_pass = pass_.name
             before = len(ctx.diagnostics)
             started = time.perf_counter()

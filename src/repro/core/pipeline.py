@@ -18,6 +18,7 @@ stage.
 
 from __future__ import annotations
 
+import time
 from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.options import CompilerOptions
@@ -74,8 +75,10 @@ class GemmCompiler:
     def pipeline_identity_for(self, spec: GemmSpec) -> str:
         return pipeline_identity(self.pipeline_for(spec))
 
-    def compile(self, spec: GemmSpec) -> CompiledProgram:
-        program, _ = self.compile_with_context(spec)
+    def compile(
+        self, spec: GemmSpec, timeout_s: Optional[float] = None
+    ) -> CompiledProgram:
+        program, _ = self.compile_with_context(spec, timeout_s=timeout_s)
         return program
 
     def compile_with_context(
@@ -83,18 +86,24 @@ class GemmCompiler:
         spec: GemmSpec,
         print_after: Optional[Sequence[str]] = None,
         sink: Optional[SnapshotSink] = None,
+        timeout_s: Optional[float] = None,
     ) -> Tuple[CompiledProgram, CompileContext]:
         """Compile and hand back the pass context (snapshots, diagnostics).
 
         This is the introspection entry point behind ``swgemm compile
         --print-after`` / ``--dump-ir``: the returned context holds one
         IR snapshot per executed pass and every structured diagnostic.
+        ``timeout_s`` sets a wall-clock deadline for the whole pipeline
+        (:class:`repro.errors.CompileTimeout` on overrun).
         """
         options = self.effective_options(spec)
         passes = self.pipeline_for(spec)
         ctx = CompileContext(spec=spec, arch=self.arch, options=options)
         manager = PassManager(passes, print_after=print_after, sink=sink)
-        manager.run(ctx)
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        manager.run(ctx, deadline=deadline)
         stats = tuple(ctx.stats)
         program = CompiledProgram(
             spec=spec,
@@ -105,6 +114,7 @@ class GemmCompiler:
             cpe_program=ctx.cpe_program,
             codegen_seconds=sum(s.seconds for s in stats),
             pass_stats=stats,
+            verification=ctx.verification,
         )
         return program, ctx
 

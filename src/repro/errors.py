@@ -142,8 +142,33 @@ class CompilationError(SwGemmError):
     """Raised by the end-to-end :class:`repro.core.pipeline.GemmCompiler`."""
 
 
+class KernelAdmissionError(CompilationError):
+    """Raised when the static safety verifier refuses to admit a kernel.
+
+    Carries the full :class:`repro.verify.VerificationReport` on
+    ``report`` so callers (CLI, service, tests) can show the failing
+    check and its witness instead of a bare message."""
+
+    def __init__(self, message: str, report: object = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class CompileTimeout(SwGemmError):
+    """Raised when a compilation exceeds its wall-clock deadline."""
+
+    def __init__(self, message: str, timeout_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.timeout_s = timeout_s
+
+
 class ExecutionError(SwGemmError):
     """Raised by the AST interpreter while running a compiled program."""
+
+
+class CertificateDivergenceError(HardwareError):
+    """Raised in guarded execution when an observed DMA/RMA/SPM event
+    diverges from the static safety certificate the verifier issued."""
 
 
 class ConfigurationError(SwGemmError):

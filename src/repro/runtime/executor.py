@@ -84,6 +84,7 @@ class Executor:
         cluster: Optional[Cluster] = None,
         move_data: bool = True,
         scalar_naive: bool = False,
+        guard: Optional[object] = None,
     ) -> None:
         self.program = program
         self.cluster = cluster or Cluster(
@@ -91,6 +92,11 @@ class Executor:
             fault_policy=program.options.fault_policy,
             retry_policy=program.options.retry_policy,
         )
+        #: guarded mode: a CertificateGuard cross-checking every observed
+        #: DMA/RMA/SPM event against the admission certificate
+        self.guard = guard
+        self.cluster.dma.guard = guard
+        self.cluster.rma.guard = guard
         #: reply-counter watchdog budget in virtual seconds (0 = off)
         self._watchdog_s = self.cluster.fault_policy.watchdog_timeout_s
         self.runtime = AthreadRuntime(
@@ -132,6 +138,9 @@ class Executor:
         if reset:
             self.cluster.reset_mesh()
         self._allocate_spm()
+        if self.guard is not None:
+            for cpe in self.cluster.all_cpes():
+                self.guard.on_spm(str(cpe), cpe.spm.used_bytes)
         self.cluster.begin_spawn()
 
         coroutines: List[Tuple[CPE, Generator]] = []
@@ -559,6 +568,7 @@ def run_gemm(
     cluster: Optional[Cluster] = None,
     move_data: bool = True,
     scalar_naive: bool = False,
+    guarded: bool = False,
 ) -> Tuple[np.ndarray, ExecutionReport]:
     """Run a compiled program on host arrays, zero-padding to the mesh
     chunk multiples exactly as §8.1 prescribes.
@@ -566,6 +576,12 @@ def run_gemm(
     Accepts 2-D arrays (plain GEMM) or 3-D arrays (batched, leading batch
     dimension).  Returns ``(C, report)`` where ``C`` has the caller's
     shape.
+
+    ``guarded=True`` attaches a :class:`repro.verify.CertificateGuard`
+    built from the program's verification report: every observed
+    DMA/RMA/SPM event is cross-checked against the static certificate,
+    and any divergence raises
+    :class:`~repro.errors.CertificateDivergenceError`.
     """
     spec = program.spec
     batched = spec.is_batched
@@ -612,13 +628,24 @@ def run_gemm(
     padded(spec.b_name, B, *b_pad)
     c_main = padded(spec.c_name, C, Mp, Np)
 
-    executor = Executor(program, cluster, move_data=move_data, scalar_naive=scalar_naive)
+    guard = None
+    if guarded:
+        from repro.verify import CertificateGuard
+
+        guard = CertificateGuard.from_program(program)
+    executor = Executor(
+        program, cluster, move_data=move_data, scalar_naive=scalar_naive,
+        guard=guard,
+    )
     params = {spec.m_param: Mp, spec.n_param: Np, spec.k_param: Kp}
     if batched:
         params[spec.batch_param] = bs
     report = executor.run(params, alpha=alpha, beta=beta)
     report.useful_flops = spec.flops(M, N, K, bs)
     report.padded_flops = spec.flops(Mp, Np, Kp, bs)
+    if guard is not None:
+        report.stats["guard_events"] = guard.events
+        report.stats["guard_divergences"] = len(guard.divergences)
 
     result = c_main[..., :M, :N].copy()
     if batched:

@@ -37,6 +37,11 @@ class CompiledProgram:
     #: pass_stats)`` by construction; empty for artifacts produced before
     #: the instrumented pipeline existed.
     pass_stats: Tuple[PassStat, ...] = ()
+    #: The admission verifier's report + certificate
+    #: (:class:`repro.verify.VerificationReport`).  ``None`` only for
+    #: ``--no-verify`` compiles and pre-verifier artifacts — the artifact
+    #: store re-verifies those on load before serving them.
+    verification: Optional[object] = None
 
     @property
     def tree(self) -> DomainNode:
@@ -95,6 +100,7 @@ class CompiledProgram:
             "cpe_program": serde.encode(self.cpe_program),
             "codegen_seconds": self.codegen_seconds,
             "pass_stats": serde.encode(list(self.pass_stats)),
+            "verification": serde.encode(self.verification),
         }
 
     @classmethod
@@ -125,6 +131,9 @@ class CompiledProgram:
             cpe_program=serde.decode(data["cpe_program"]),
             codegen_seconds=float(data.get("codegen_seconds", 0.0)),
             pass_stats=tuple(serde.decode(stats)) if stats is not None else (),
+            # Absent from pre-verifier artifacts; the store's
+            # verify-on-load path fills it in (or quarantines).
+            verification=serde.decode(data.get("verification")),
         )
 
     # -- source rendering ----------------------------------------------------

@@ -289,6 +289,14 @@ def _register_all() -> None:
     ):
         register_dataclass(cls)
 
+    # -- verification reports (PR 4) -------------------------------------
+    # report.py imports nothing from the compiler or runtime layers, so
+    # registering it here cannot cycle.
+    from repro.verify.report import CheckResult, VerificationReport
+
+    register_dataclass(CheckResult)
+    register_dataclass(VerificationReport)
+
     # The decomposition's ``bands`` dict aliases nodes *inside* the tree;
     # encoding them by value would sever the aliasing, so they are stored
     # as pre-order indexes into the root's walk and re-resolved on decode.

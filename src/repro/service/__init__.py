@@ -16,6 +16,7 @@ from repro.service.cache import LRUCache
 from repro.service.keys import CACHE_SCHEMA_VERSION, cache_key, canonical_blob
 from repro.service.service import (
     CompileService,
+    KernelService,
     ServiceConfig,
     get_default_service,
     set_default_service,
@@ -28,6 +29,7 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
     "CompileService",
+    "KernelService",
     "LRUCache",
     "ServiceConfig",
     "cache_key",

@@ -73,6 +73,12 @@ def cache_key(
         # artifact store.  The service re-stamps the requested policies
         # onto cached programs (see CompileService._get).
         options = options.with_(fault_policy=None, retry_policy=None)
+    if not options.verify:
+        # The verifier never changes the generated code, so verified and
+        # --no-verify requests address the same artifact.  A report-less
+        # artifact served to a verifying caller is re-verified (and the
+        # report persisted) by the store's verify-on-load path.
+        options = options.with_(verify=True)
     options = reconcile_options(spec, options)
     if pipeline is None:
         pipeline_id = pipeline_identity(build_pipeline(spec, arch, options))

@@ -18,6 +18,7 @@ kernels compiles each distinct ``(spec, arch, options)`` triple once.
 from __future__ import annotations
 
 import dataclasses
+import inspect
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -26,6 +27,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.options import CompilerOptions
+from repro.errors import CompileTimeout
 from repro.core.passes import reconcile_options
 from repro.core.pipeline import GemmCompiler
 from repro.core.spec import GemmSpec
@@ -70,9 +72,28 @@ class _Inflight:
 
 
 def _default_compile(
-    spec: GemmSpec, arch: ArchSpec, options: CompilerOptions
+    spec: GemmSpec,
+    arch: ArchSpec,
+    options: CompilerOptions,
+    timeout_s: Optional[float] = None,
 ) -> CompiledProgram:
-    return GemmCompiler(arch, options).compile(spec)
+    return GemmCompiler(arch, options).compile(spec, timeout_s=timeout_s)
+
+
+def _accepts_timeout(compile_fn) -> bool:
+    """Whether a compile function takes the ``timeout_s`` keyword.
+
+    Custom ``compile_fn`` callables (tests, alternative compilers) may
+    predate the deadline API; for those the service falls back to a
+    post-hoc wall-time check."""
+    try:
+        parameters = inspect.signature(compile_fn).parameters.values()
+    except (TypeError, ValueError):  # builtins, exotic callables
+        return False
+    return any(
+        p.name == "timeout_s" or p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in parameters
+    )
 
 
 class CompileService:
@@ -85,6 +106,7 @@ class CompileService:
     ) -> None:
         self.config = config or ServiceConfig()
         self._compile = compile_fn or _default_compile
+        self._compile_takes_timeout = _accepts_timeout(self._compile)
         self._memory: LRUCache[CompiledProgram] = LRUCache(
             self.config.memory_capacity
         )
@@ -102,6 +124,7 @@ class CompileService:
         self.bypassed = 0
         self.deduped = 0
         self.flight_retries = 0
+        self.flight_timeouts = 0
         self.compile_count = 0
         self.compile_seconds_total = 0.0
         self.compile_seconds_max = 0.0
@@ -121,9 +144,30 @@ class CompileService:
         spec: GemmSpec,
         arch: Optional[ArchSpec] = None,
         options: Optional[CompilerOptions] = None,
+        timeout_s: Optional[float] = None,
     ) -> CompiledProgram:
-        """The cached compile: memory → disk → single-flight compile."""
-        return self._get(spec, arch or SW26010PRO, options or CompilerOptions())[0]
+        """The cached compile: memory → disk → single-flight compile.
+
+        ``timeout_s`` is a wall-clock deadline for the *whole* request,
+        including time spent waiting on another request's in-progress
+        compilation; overruns raise :class:`repro.errors.CompileTimeout`.
+        """
+        return self._get(
+            spec,
+            arch or SW26010PRO,
+            options or CompilerOptions(),
+            timeout_s=timeout_s,
+        )[0]
+
+    def compile(
+        self,
+        spec: GemmSpec,
+        arch: Optional[ArchSpec] = None,
+        options: Optional[CompilerOptions] = None,
+        timeout_s: Optional[float] = None,
+    ) -> CompiledProgram:
+        """Alias of :meth:`get_program` (the KernelService verb)."""
+        return self.get_program(spec, arch, options, timeout_s=timeout_s)
 
     def warmup(
         self,
@@ -177,6 +221,7 @@ class CompileService:
                 "bypassed": self.bypassed,
                 "single_flight_deduped": self.deduped,
                 "single_flight_retries": self.flight_retries,
+                "single_flight_timeouts": self.flight_timeouts,
                 "memory": self._memory.stats(),
                 "compiles": {
                     "count": count,
@@ -213,8 +258,31 @@ class CompileService:
             return program
         return dataclasses.replace(program, options=options)
 
+    def _ensure_verified(self, program: CompiledProgram) -> CompiledProgram:
+        """Attach a verification report to a report-less cached program.
+
+        A program can sit in the hot tier (or a single-flight result)
+        without a report when it was compiled for a ``--no-verify``
+        request; a verifying caller must still get admission-checked
+        code, so verify in place — the report attaches to the cached
+        object and the work happens once.
+
+        Stub programs without the attribute (test doubles injected via
+        ``compile_fn``) are passed through untouched — only a real
+        ``CompiledProgram`` that explicitly carries ``verification=None``
+        needs the re-check."""
+        if getattr(program, "verification", False) is None:
+            from repro.verify import admit, verify_program
+
+            program.verification = admit(verify_program(program))
+        return program
+
     def _get(
-        self, spec: GemmSpec, arch: ArchSpec, options: CompilerOptions
+        self,
+        spec: GemmSpec,
+        arch: ArchSpec,
+        options: CompilerOptions,
+        timeout_s: Optional[float] = None,
     ) -> Tuple[CompiledProgram, str]:
         # Reconcile up front (preserving the runtime-only fault/retry
         # policies, which reconciliation never touches): the reconciled
@@ -222,12 +290,21 @@ class CompileService:
         # and what _restamp stamps onto cache hits — a hit can never hand
         # back options the compile itself would have rewritten.
         options = reconcile_options(spec, options)
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+
+        def remaining() -> Optional[float]:
+            return None if deadline is None else deadline - time.monotonic()
+
         with self._lock:
             self.requests += 1
         if not self.config.enabled:
             with self._lock:
                 self.bypassed += 1
-            program, _ = self._compile_timed(spec, arch, options)
+            program, _ = self._compile_timed(
+                spec, arch, options, timeout_s=remaining()
+            )
             return program, "compiled"
 
         key = cache_key(spec, arch, options)
@@ -235,6 +312,8 @@ class CompileService:
             with self._lock:
                 cached = self._memory.get(key)
                 if cached is not None:
+                    if options.verify:
+                        cached = self._ensure_verified(cached)
                     self._flush_persistent({"requests": 1, "memory_hits": 1})
                     return self._restamp(cached, options), "memory"
                 flight = self._inflight.get(key)
@@ -249,11 +328,26 @@ class CompileService:
 
             if owner:
                 break
-            flight.done.wait()
+            if not flight.done.wait(timeout=remaining()):
+                # Deadline expired while another request compiled this
+                # key: the contract is wall time for the *whole* request,
+                # so give up loudly instead of hanging on the stranger's
+                # compile.
+                with self._lock:
+                    self.flight_timeouts += 1
+                raise CompileTimeout(
+                    f"compile deadline of {timeout_s}s exceeded while "
+                    "waiting on an in-flight compilation of the same "
+                    "kernel",
+                    timeout_s=timeout_s or 0.0,
+                )
             if flight.error is None:
                 assert flight.program is not None
+                program = flight.program
+                if options.verify:
+                    program = self._ensure_verified(program)
                 self._flush_persistent({"requests": 1, "deduped": 1})
-                return self._restamp(flight.program, options), "deduped"
+                return self._restamp(program, options), "deduped"
             # The owner's compile failed.  Its error may be transient
             # (fault injection, a flaky disk) and belongs to the owner's
             # request anyway — instead of propagating a stranger's
@@ -263,12 +357,19 @@ class CompileService:
 
         source = "compiled"
         try:
-            program = self._store.get(key) if self._store else None
+            verify_on_load = options.verify
+            program = (
+                self._store.get(key, verify_on_load=verify_on_load)
+                if self._store
+                else None
+            )
             if program is not None:
                 source = "disk"
                 self._flush_persistent({"requests": 1, "disk_hits": 1})
             else:
-                program, elapsed = self._compile_timed(spec, arch, options)
+                program, elapsed = self._compile_timed(
+                    spec, arch, options, timeout_s=remaining()
+                )
                 if self._store is not None:
                     self._store.put(key, program)
                 self._flush_persistent(
@@ -288,11 +389,36 @@ class CompileService:
         return self._restamp(program, options), source
 
     def _compile_timed(
-        self, spec: GemmSpec, arch: ArchSpec, options: CompilerOptions
+        self,
+        spec: GemmSpec,
+        arch: ArchSpec,
+        options: CompilerOptions,
+        timeout_s: Optional[float] = None,
     ) -> Tuple[CompiledProgram, float]:
+        if timeout_s is not None and timeout_s <= 0:
+            raise CompileTimeout(
+                "compile deadline already exhausted before compilation "
+                "started",
+                timeout_s=timeout_s,
+            )
         started = time.perf_counter()
-        program = self._compile(spec, arch, options)
+        if self._compile_takes_timeout:
+            program = self._compile(spec, arch, options, timeout_s=timeout_s)
+        else:
+            program = self._compile(spec, arch, options)
         elapsed = time.perf_counter() - started
+        if (
+            timeout_s is not None
+            and not self._compile_takes_timeout
+            and elapsed > timeout_s
+        ):
+            # Custom compile functions without deadline support still get
+            # the structured error, just after the fact.
+            raise CompileTimeout(
+                f"compilation took {elapsed:.3f}s, over the {timeout_s}s "
+                "deadline",
+                timeout_s=timeout_s,
+            )
         with self._lock:
             self.compile_count += 1
             self.compile_seconds_total += elapsed
@@ -302,6 +428,11 @@ class CompileService:
     def _flush_persistent(self, deltas: Dict[str, float]) -> None:
         if self._store is not None:
             self._store.bump_persistent_stats(deltas)
+
+
+#: The service is the kernel *admission* surface as much as the caching
+#: one, and callers that talk to it for that reason know it by this name.
+KernelService = CompileService
 
 
 # ---------------------------------------------------------------------------

@@ -54,6 +54,8 @@ class ArtifactStore:
         self.disk_misses = 0
         self.writes = 0
         self.quarantined = 0
+        self.verified_on_load = 0
+        self.verify_rejected = 0
         #: optional fault plane corrupting freshly written artifacts
         #: (chaos testing of the quarantine/recompile path)
         self.injector = injector
@@ -67,7 +69,9 @@ class ArtifactStore:
     def quarantine_dir(self) -> Path:
         return self.root / _QUARANTINE_DIR
 
-    def get(self, key: str) -> Optional[CompiledProgram]:
+    def get(
+        self, key: str, verify_on_load: bool = True
+    ) -> Optional[CompiledProgram]:
         path = self.path_for(key)
         try:
             data = json.loads(path.read_text())
@@ -81,6 +85,25 @@ class ArtifactStore:
             self._quarantine(path)
             self.disk_misses += 1
             return None
+        if verify_on_load and program.verification is None:
+            # Legacy (pre-verifier) or --no-verify artifact: prove it safe
+            # before serving the hit.  A pass self-heals the artifact (the
+            # report is persisted so the work happens once per store); a
+            # failure quarantines it exactly like corruption — the caller
+            # recompiles through the admission gate.
+            from repro.verify import admit, verify_program
+
+            try:
+                program.verification = admit(verify_program(program))
+            except Exception:
+                self._quarantine(path)
+                self.verify_rejected += 1
+                self.bump_persistent_stats({"verify_rejected": 1})
+                self.disk_misses += 1
+                return None
+            self.verified_on_load += 1
+            self.bump_persistent_stats({"verified_on_load": 1})
+            self.put(key, program)
         self.disk_hits += 1
         return program
 
@@ -189,4 +212,6 @@ class ArtifactStore:
             "writes": self.writes,
             "quarantined": self.quarantined,
             "quarantine_files": quarantine_files,
+            "verified_on_load": self.verified_on_load,
+            "verify_rejected": self.verify_rejected,
         }

@@ -51,6 +51,9 @@ class DMAEngine:
         self.policy = policy or FaultPolicy()
         self.retry = retry or RetryPolicy()
         self.injector: Optional[FaultInjector] = None
+        #: optional CertificateGuard cross-checking each transfer against
+        #: the admission verifier's certificate (guarded mode)
+        self.guard = None
 
     def reset(self) -> None:
         self.channel_free = 0.0
@@ -181,6 +184,8 @@ class DMAEngine:
         """Main memory → SPM.  Returns the modelled completion time."""
         spm_elems = dst.size if dst is not None else size
         rows = self._validate(src_elems, offset, size, length, strip, spm_elems)
+        if self.guard is not None:
+            self.guard.on_dma("get", dst_key[0], size, length)
         copy_fn = corrupt_fn = readback_fn = None
         if move_data:
             if src is None or dst is None:
@@ -238,6 +243,8 @@ class DMAEngine:
         cpe.spm.check_readable(src_key[0], src_key[1])
         spm_elems = src.size if src is not None else size
         rows = self._validate(dst_elems, offset, size, length, strip, spm_elems)
+        if self.guard is not None:
+            self.guard.on_dma("put", src_key[0], size, length)
         copy_fn = corrupt_fn = readback_fn = None
         if move_data:
             if src is None or dst is None:

@@ -64,6 +64,9 @@ class RMAEngine:
         self.policy = policy or FaultPolicy()
         self.retry = retry or RetryPolicy()
         self.injector: Optional[FaultInjector] = None
+        #: optional CertificateGuard cross-checking each broadcast against
+        #: the admission verifier's certificate (guarded mode)
+        self.guard = None
 
     def reset(self) -> None:
         self.row_channel_free = [0.0] * self.arch.mesh_rows
@@ -210,6 +213,8 @@ class RMAEngine:
     ) -> float:
         """Broadcast the sender's SPM tile to every CPE on its mesh row."""
         self._check_armed(sender)
+        if self.guard is not None:
+            self.guard.on_rma("row", src_key[0], dst_key[0], size)
         receivers = list(self.mesh[sender.rid])
         completion = self._occupy_with_retries(
             sender, self.row_channel_free, sender.rid, size * elem_bytes,
@@ -234,6 +239,8 @@ class RMAEngine:
     ) -> float:
         """Broadcast the sender's SPM tile to every CPE on its mesh column."""
         self._check_armed(sender)
+        if self.guard is not None:
+            self.guard.on_rma("col", src_key[0], dst_key[0], size)
         receivers = [row[sender.cid] for row in self.mesh]
         completion = self._occupy_with_retries(
             sender, self.col_channel_free, sender.cid, size * elem_bytes,

@@ -60,6 +60,34 @@ class ScratchPadMemory:
         self._used += nbytes
         return buffer
 
+    def free(self, name: str) -> None:
+        """Release one buffer, returning its bytes to the allocator.
+
+        Freeing a buffer with an in-flight slot would let an async DMA/RMA
+        land into reclaimed (possibly re-allocated) memory, so it raises
+        :class:`SynchronizationError` — the same discipline the verifier's
+        hazard machine proves statically.
+        """
+        buffer = self._buffers.get(name)
+        if buffer is None:
+            raise HardwareError(
+                f"cannot free SPM buffer {name!r}: not allocated "
+                f"on {self.owner or 'CPE'}"
+            )
+        pending = sorted(slot for (n, slot) in self._inflight if n == name)
+        if pending:
+            causes = {self._inflight[(name, s)] for s in pending}
+            raise SynchronizationError(
+                f"{self.owner or 'CPE'} freed SPM buffer {name!r} while "
+                f"slot(s) {pending} are still in flight "
+                f"({', '.join(sorted(causes))})"
+            )
+        del self._buffers[name]
+        self._used -= buffer.nbytes
+        self._checksums = {
+            key: value for key, value in self._checksums.items() if key[0] != name
+        }
+
     def free_all(self) -> None:
         self._buffers.clear()
         self._inflight.clear()

@@ -1,0 +1,48 @@
+"""Kernel admission control: the static safety verifier (PR 4).
+
+Public surface:
+
+* :func:`run_checks` / :func:`verify_program` — run the four safety
+  checks (SPM budget §6.3, DMA bounds §4, double-buffer hazards §6,
+  RMA discipline §5) over a lowered program;
+* :class:`VerificationReport` / :class:`CheckResult` — the structured
+  result attached to every admitted :class:`CompiledProgram`;
+* :func:`admit` — raise :class:`repro.errors.KernelAdmissionError` on a
+  failing report;
+* :class:`CertificateGuard` — runtime cross-checking of the static
+  certificate (guarded execution).
+"""
+
+from repro.verify.guard import CertificateGuard
+from repro.verify.report import (
+    FAILED,
+    PASSED,
+    SKIPPED,
+    VERIFIER_VERSION,
+    CheckResult,
+    VerificationReport,
+    admission_error,
+)
+from repro.verify.verifier import (
+    admit,
+    build_certificate,
+    machine_params,
+    run_checks,
+    verify_program,
+)
+
+__all__ = [
+    "CertificateGuard",
+    "CheckResult",
+    "VerificationReport",
+    "VERIFIER_VERSION",
+    "PASSED",
+    "FAILED",
+    "SKIPPED",
+    "admission_error",
+    "admit",
+    "build_certificate",
+    "machine_params",
+    "run_checks",
+    "verify_program",
+]

@@ -1,0 +1,490 @@
+"""A timing-less mesh machine for compile-time schedule verification.
+
+Interprets the generated CPE AST for the *whole* mesh — every CPE as a
+cooperative coroutine, round-robin scheduled — tracking only what the
+safety checks need: which SPM buffer slots an asynchronous DMA/RMA has
+marked in flight, the reply-counter ledger, and the ``synch()`` barrier
+with its RMA arming bit.  It mirrors the runtime semantics of
+:mod:`repro.runtime.executor` / :mod:`repro.sunway.spm` exactly, minus
+data movement and the cost model, which makes the double-buffer hazard
+check (§6) and the RMA discipline check (§5) decidable before a kernel
+is ever admitted.
+
+The machine runs one *chunk* problem with ``K = 2·k_step`` so both
+double-buffer parities (even and odd slots of the peeled/pipelined
+schedule) and at least one full steady-state iteration are exercised;
+the schedule's control flow does not otherwise depend on the shape, so
+this finite run covers the pipelining discipline for every shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.poly.astnodes import (
+    AffRef,
+    ArrayRef,
+    BinExpr,
+    Block,
+    BlockOpStmt,
+    CommentStmt,
+    CommStmt,
+    CpeProgram,
+    Expr,
+    ForLoop,
+    IfStmt,
+    IntLit,
+    KernelCall,
+    NaiveComputeStmt,
+    Stmt,
+    VarRef,
+)
+
+#: Resume-count ceiling: far above any real schedule (a chunk run is a
+#: few thousand statements per CPE) but bounds pathological input.
+MAX_STEPS = 2_000_000
+
+#: Witnesses retained per category before the machine stops recording.
+MAX_WITNESSES = 10
+
+
+def _is_rma_counter(name: str) -> bool:
+    """Mirror of the executor's disarm rule: RMA/broadcast counters."""
+    base = name.split("#", 1)[0]
+    return base.startswith(("rma", "bcast")) or "bcast" in base
+
+
+@dataclass
+class MachineResult:
+    """What one machine run observed."""
+
+    completed: bool = True
+    deadlock: Optional[str] = None
+    #: Buffer slots read (or freed into a new transfer) while in flight.
+    hazards: List[Dict[str, object]] = field(default_factory=list)
+    #: RMA discipline violations (unarmed issues, unbalanced counters,
+    #: mismatched sender sets, leftover in-flight broadcast data).
+    discipline: List[Dict[str, object]] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+class _CpeState:
+    """Per-CPE verification state: in-flight map + reply ledger."""
+
+    __slots__ = (
+        "rid",
+        "cid",
+        "inflight",
+        "counters",
+        "records",
+        "waited",
+        "armed",
+        "env",
+    )
+
+    def __init__(self, rid: int, cid: int, env: Dict[str, object]) -> None:
+        self.rid = rid
+        self.cid = cid
+        #: (buffer, slot) -> cause string, exactly like ScratchPadMemory.
+        self.inflight: Dict[Tuple[str, int], str] = {}
+        #: reply key -> cumulative count since last reset.
+        self.counters: Dict[str, int] = {}
+        #: reply key -> per-message (buffer, slot) records (None for the
+        #: sender-side RMA reply, which marks no local data in flight).
+        self.records: Dict[str, List[Optional[Tuple[str, int]]]] = {}
+        #: reply key -> highest value ever waited since last reset.
+        self.waited: Dict[str, int] = {}
+        self.armed = False
+        self.env = env
+
+
+class ScheduleMachine:
+    """Run one CPE program across a mesh, recording safety violations.
+
+    Violations are *recorded*, not raised: a broken schedule usually
+    trips several related invariants and the report should show the
+    first few witnesses of each kind, not die on the first.
+    """
+
+    def __init__(
+        self,
+        program: CpeProgram,
+        mesh: int,
+        params: Dict[str, int],
+    ) -> None:
+        self.program = program
+        self.mesh = mesh
+        self.params = dict(params)
+        self.result = MachineResult()
+        self._arrived = 0
+        self._generation = 0
+        #: (generation, kind) -> list of (channel, (rid, cid)) senders.
+        self._rma_log: Dict[Tuple[int, str], List[Tuple[int, Tuple[int, int]]]] = {}
+        self._stats = {
+            "dma_issues": 0,
+            "rma_issues": 0,
+            "waits": 0,
+            "barriers": 0,
+            "steps": 0,
+        }
+        self.states = [
+            [
+                _CpeState(
+                    rid,
+                    cid,
+                    dict(self.params, Rid=rid, Cid=cid, alpha=1.0, beta=1.0),
+                )
+                for cid in range(mesh)
+            ]
+            for rid in range(mesh)
+        ]
+
+    # -- driving loop -------------------------------------------------------
+
+    def run(self) -> MachineResult:
+        flat = [s for row in self.states for s in row]
+        coroutines = [self._exec(state, self.program.body) for state in flat]
+        live = list(range(len(flat)))
+        steps = 0
+        while live:
+            progressed = False
+            blocked_reasons: List[str] = []
+            for index in list(live):
+                try:
+                    signal = next(coroutines[index])
+                except StopIteration:
+                    live.remove(index)
+                    progressed = True
+                    continue
+                steps += 1
+                if signal == "blocked":
+                    state = flat[index]
+                    blocked_reasons.append(
+                        f"CPE({state.rid},{state.cid}): {state.env.get('__blocked__', 'waiting')}"
+                    )
+                else:
+                    progressed = True
+                if steps > MAX_STEPS:
+                    self.result.completed = False
+                    self.result.deadlock = (
+                        f"schedule did not terminate within {MAX_STEPS} steps"
+                    )
+                    self._finish()
+                    return self.result
+            if not progressed and live:
+                self.result.completed = False
+                self.result.deadlock = "; ".join(sorted(set(blocked_reasons))[:8])
+                self._finish()
+                return self.result
+        self._stats["steps"] = steps
+        self._finish()
+        return self.result
+
+    # -- statement interpretation ------------------------------------------
+
+    def _exec(self, state: _CpeState, stmt: Stmt):
+        if isinstance(stmt, Block):
+            for inner in stmt.body:
+                yield from self._exec(state, inner)
+            return
+        if isinstance(stmt, ForLoop):
+            lo = self._eval(stmt.lo, state.env)
+            hi = self._eval(stmt.hi, state.env)
+            for value in range(lo, hi, stmt.step):
+                state.env[stmt.var] = value
+                yield from self._exec(state, stmt.body)
+            state.env.pop(stmt.var, None)
+            return
+        if isinstance(stmt, IfStmt):
+            if self._eval(stmt.cond, state.env):
+                yield from self._exec(state, stmt.then)
+            elif stmt.els is not None:
+                yield from self._exec(state, stmt.els)
+            return
+        if isinstance(stmt, CommStmt):
+            yield from self._exec_comm(state, stmt)
+            return
+        if isinstance(stmt, KernelCall):
+            for what, ref in (
+                ("kernel C operand", stmt.c_ref),
+                ("kernel A operand", stmt.a_ref),
+                ("kernel B operand", stmt.b_ref),
+            ):
+                self._check_read(state, ref, what)
+            yield "step"
+            return
+        if isinstance(stmt, BlockOpStmt):
+            self._check_read(state, stmt.dst, f"block op {stmt.op!r}")
+            yield "step"
+            return
+        if isinstance(stmt, NaiveComputeStmt):
+            self._check_read(state, stmt.target, "naive compute target")
+            for ref in _spm_refs(stmt.value):
+                self._check_read(state, ref, "naive compute operand")
+            yield "step"
+            return
+        if isinstance(stmt, CommentStmt):
+            return
+        # Anything else (AssignStmt over scalars, …) is hazard-neutral.
+        yield "step"
+
+    def _exec_comm(self, state: _CpeState, stmt: CommStmt):
+        kind = stmt.kind
+        args = stmt.args
+        if kind == "reply_reset":
+            key = self._reply_key(args, state.env)
+            self._flag_unconsumed(state, key, at="reply_reset")
+            state.counters[key] = 0
+            state.records[key] = []
+            state.waited[key] = 0
+            return
+        if kind in ("dma_iget", "dma_iput"):
+            slot = self._eval(args["slot"], state.env)
+            buffer = str(args["buffer"])
+            key = self._reply_key(args, state.env)
+            if kind == "dma_iput":
+                # A put *reads* the SPM source; mirror DMAEngine.iput's
+                # check_readable-then-mark order.
+                self._check_slot(state, buffer, slot, "dma_iput source")
+            state.inflight[(buffer, slot)] = f"{kind}/{key}"
+            state.counters[key] = state.counters.get(key, 0) + 1
+            state.records.setdefault(key, []).append((buffer, slot))
+            self._stats["dma_issues"] += 1
+            yield "step"
+            return
+        if kind in ("dma_wait_value", "rma_wait_value"):
+            key = self._reply_key(args, state.env)
+            value = int(args.get("value", 1))
+            while state.counters.get(key, 0) < value:
+                state.env["__blocked__"] = f"{kind} {key} >= {value}"
+                yield "blocked"
+            state.env.pop("__blocked__", None)
+            self._finish_wait(state, key, value)
+            self._stats["waits"] += 1
+            yield "step"
+            return
+        if kind in ("rma_row_ibcast", "rma_col_ibcast"):
+            self._issue_rma(state, kind, args)
+            self._stats["rma_issues"] += 1
+            yield "step"
+            return
+        if kind == "synch":
+            token = self._generation
+            self._arrived += 1
+            if self._arrived == self.mesh * self.mesh:
+                self._arrived = 0
+                self._generation += 1
+                for row in self.states:
+                    for other in row:
+                        other.armed = True
+            while self._generation <= token:
+                state.env["__blocked__"] = "synch"
+                yield "blocked"
+            state.env.pop("__blocked__", None)
+            self._stats["barriers"] += 1
+            yield "step"
+            return
+        yield "step"
+
+    def _issue_rma(self, state: _CpeState, kind: str, args) -> None:
+        slot_s = self._eval(args["src_slot"], state.env)
+        slot_d = self._eval(args["dst_slot"], state.env)
+        reply_slot = self._eval(args["reply_slot"], state.env)
+        src = str(args["src_buffer"])
+        dst = str(args["dst_buffer"])
+        replys = f"{args['replys']}#{reply_slot}"
+        replyr = f"{args['replyr']}#{reply_slot}"
+        if not state.armed:
+            self._record(
+                self.result.discipline,
+                {
+                    "violation": "rma-without-synch",
+                    "cpe": (state.rid, state.cid),
+                    "kind": kind,
+                    "src": (src, slot_s),
+                    "detail": (
+                        "RMA issued without a preceding synch(); the §5 "
+                        "discipline requires re-arming before every launch"
+                    ),
+                },
+            )
+        # The broadcast reads its SPM source on the sender.
+        self._check_slot(state, src, slot_s, f"{kind} source")
+        row_bcast = kind == "rma_row_ibcast"
+        channel = state.rid if row_bcast else state.cid
+        self._rma_log.setdefault((self._generation, kind), []).append(
+            (channel, (state.rid, state.cid))
+        )
+        if row_bcast:
+            receivers = self.states[state.rid]
+        else:
+            receivers = [row[state.cid] for row in self.states]
+        for receiver in receivers:
+            receiver.inflight[(dst, slot_d)] = f"rma/{replyr}"
+            receiver.counters[replyr] = receiver.counters.get(replyr, 0) + 1
+            receiver.records.setdefault(replyr, []).append((dst, slot_d))
+        state.counters[replys] = state.counters.get(replys, 0) + 1
+        state.records.setdefault(replys, []).append(None)
+
+    # -- mirrored runtime semantics ----------------------------------------
+
+    def _finish_wait(self, state: _CpeState, key: str, value: int) -> None:
+        """Mirror of ``AthreadRuntime.finish_wait``: consume the first
+        ``value`` records, clearing their in-flight marks; a wait on an
+        RMA counter disarms the CPE (a fresh synch() is required before
+        the next broadcast)."""
+        for record in state.records.get(key, [])[:value]:
+            if record is not None:
+                state.inflight.pop(record, None)
+        state.waited[key] = max(state.waited.get(key, 0), value)
+        if _is_rma_counter(key):
+            state.armed = False
+
+    def _check_read(self, state: _CpeState, ref: ArrayRef, what: str) -> None:
+        if ref.memory != "spm":
+            return
+        slot = self._eval(ref.indices[0], state.env) if ref.indices else 0
+        self._check_slot(state, ref.array, slot, what)
+
+    def _check_slot(self, state: _CpeState, buffer: str, slot: int, what: str) -> None:
+        cause = state.inflight.get((buffer, slot))
+        if cause is None:
+            return
+        self._record(
+            self.result.hazards,
+            {
+                "violation": "read-while-in-flight",
+                "cpe": (state.rid, state.cid),
+                "buffer": buffer,
+                "slot": slot,
+                "in_flight_cause": cause,
+                "read_by": what,
+            },
+        )
+
+    def _flag_unconsumed(self, state: _CpeState, key: str, at: str) -> None:
+        issued = state.counters.get(key, 0)
+        waited = state.waited.get(key, 0)
+        if issued <= waited:
+            return
+        sink = (
+            self.result.discipline
+            if _is_rma_counter(key)
+            else self.result.hazards
+        )
+        self._record(
+            sink,
+            {
+                "violation": "unbalanced-reply-counter",
+                "cpe": (state.rid, state.cid),
+                "counter": key,
+                "issued": issued,
+                "waited": waited,
+                "at": at,
+            },
+        )
+
+    def _record(self, sink: List[Dict[str, object]], witness: Dict[str, object]) -> None:
+        if len(sink) < MAX_WITNESSES:
+            sink.append(witness)
+
+    # -- end-of-run analysis ------------------------------------------------
+
+    def _finish(self) -> None:
+        result = self.result
+        result.stats = dict(self._stats)
+        for row in self.states:
+            for state in row:
+                for key in sorted(state.counters):
+                    self._flag_unconsumed(state, key, at="end-of-program")
+                for (buffer, slot), cause in sorted(state.inflight.items()):
+                    sink = (
+                        result.discipline
+                        if cause.startswith("rma/")
+                        else result.hazards
+                    )
+                    self._record(
+                        sink,
+                        {
+                            "violation": "in-flight-at-exit",
+                            "cpe": (state.rid, state.cid),
+                            "buffer": buffer,
+                            "slot": slot,
+                            "in_flight_cause": cause,
+                        },
+                    )
+        # Sender-set discipline: within one barrier generation each
+        # row/column channel carries at most one broadcast, and either
+        # every channel of the mesh participates or none does — a strict
+        # subset means some CPEs wait for data that never arrives.
+        for (generation, kind), entries in sorted(self._rma_log.items()):
+            per_channel: Dict[int, List[Tuple[int, int]]] = {}
+            for channel, sender in entries:
+                per_channel.setdefault(channel, []).append(sender)
+            for channel, senders in sorted(per_channel.items()):
+                if len(set(senders)) > 1:
+                    self._record(
+                        result.discipline,
+                        {
+                            "violation": "duplicate-sender",
+                            "kind": kind,
+                            "generation": generation,
+                            "channel": channel,
+                            "senders": sorted(set(senders)),
+                        },
+                    )
+            if 0 < len(per_channel) < self.mesh:
+                self._record(
+                    result.discipline,
+                    {
+                        "violation": "partial-sender-set",
+                        "kind": kind,
+                        "generation": generation,
+                        "channels": sorted(per_channel),
+                        "expected_channels": self.mesh,
+                    },
+                )
+
+    # -- expression evaluation ---------------------------------------------
+
+    def _reply_key(self, args, env) -> str:
+        slot = self._eval(args["reply_slot"], env)
+        return f"{args['reply']}#{slot}"
+
+    def _eval(self, expr, env) -> int:
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, (VarRef, AffRef)):
+            value = expr.evaluate(
+                {k: v for k, v in env.items() if isinstance(v, int)}
+                if isinstance(expr, AffRef)
+                else env
+            )
+            return value
+        if isinstance(expr, BinExpr):
+            return expr.evaluate(env)
+        if isinstance(expr, int):
+            return expr
+        if isinstance(expr, Expr):
+            return expr.evaluate(env)
+        raise TypeError(f"cannot evaluate {expr!r} statically")
+
+
+def _spm_refs(expr) -> List[ArrayRef]:
+    """All SPM array references inside an expression tree."""
+    refs: List[ArrayRef] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ArrayRef):
+            if node.memory == "spm":
+                refs.append(node)
+            stack.extend(node.indices)
+        elif isinstance(node, BinExpr):
+            stack.extend((node.lhs, node.rhs))
+        elif hasattr(node, "args"):
+            stack.extend(getattr(node, "args"))
+        elif hasattr(node, "ref"):
+            stack.append(getattr(node, "ref"))
+    return refs

@@ -1,0 +1,134 @@
+"""Verification reports: the structured output of the admission gate.
+
+A :class:`VerificationReport` is attached to every
+:class:`~repro.runtime.program.CompiledProgram` the default pipeline
+admits.  It carries one :class:`CheckResult` per safety check (SPM
+budget, DMA bounds, double-buffer hazards, RMA discipline) plus the
+*certificate* — a shape-invariant summary of the data movement the
+static analysis proved safe, which guarded execution replays against
+observed DMA/RMA/SPM events.
+
+This module deliberately imports nothing from the compiler or runtime
+layers so it can be registered with :mod:`repro.runtime.serde` without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import KernelAdmissionError
+
+#: Bumped whenever a check is added or its semantics change; stored in
+#: the report so stale certificates are recognisable after upgrades.
+VERIFIER_VERSION = 1
+
+PASSED = "passed"
+FAILED = "failed"
+SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one safety check over the lowered program."""
+
+    #: Stable check identifier (``spm-budget``, ``dma-bounds``,
+    #: ``double-buffer-hazards``, ``rma-discipline``).
+    name: str
+    #: Paper section whose invariant this check enforces.
+    section: str
+    #: ``passed`` / ``failed`` / ``skipped``.
+    status: str
+    #: Human-readable one-liner (what was proven, or what broke).
+    detail: str = ""
+    #: For failures: the concrete counterexample — buffer names, tile
+    #: indices, reply-counter names — as a plain JSON-friendly dict.
+    witness: Optional[Dict[str, object]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status != FAILED
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Per-check status plus the certificate for guarded execution."""
+
+    verifier_version: int = VERIFIER_VERSION
+    checks: Tuple[CheckResult, ...] = ()
+    #: Shape-invariant summary of admitted data movement:
+    #: ``{"spm_bytes": int, "dma": {...}, "rma": {...}}``.
+    certificate: Optional[Dict[str, object]] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def failed(self) -> List[CheckResult]:
+        return [c for c in self.checks if c.status == FAILED]
+
+    def check(self, name: str) -> CheckResult:
+        for c in self.checks:
+            if c.name == name:
+                return c
+        raise KeyError(name)
+
+    def summary(self) -> str:
+        """One line for snapshots and ``compile`` output."""
+        passed = sum(1 for c in self.checks if c.status == PASSED)
+        if self.ok:
+            return (
+                f"{passed}/{len(self.checks)} checks passed "
+                f"(verifier v{self.verifier_version})"
+            )
+        names = ", ".join(c.name for c in self.failed())
+        return f"FAILED {names} (verifier v{self.verifier_version})"
+
+    def render(self) -> str:
+        """Multi-line report for ``swgemm verify`` / ``--explain-verify``."""
+        lines = [f"verification (verifier v{self.verifier_version}):"]
+        for c in self.checks:
+            lines.append(f"  [{c.status:>7}] {c.name} ({c.section})")
+            if c.detail:
+                lines.append(f"            {c.detail}")
+            if c.witness:
+                for k, v in c.witness.items():
+                    lines.append(f"            witness {k}: {v}")
+        lines.append(
+            "  verdict: " + ("ADMITTED" if self.ok else "REJECTED")
+        )
+        return "\n".join(lines)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly view for ``swgemm verify --json``."""
+        return {
+            "verifier_version": self.verifier_version,
+            "ok": self.ok,
+            "checks": [
+                {
+                    "name": c.name,
+                    "section": c.section,
+                    "status": c.status,
+                    "detail": c.detail,
+                    "witness": c.witness,
+                }
+                for c in self.checks
+            ],
+        }
+
+
+def admission_error(report: VerificationReport) -> KernelAdmissionError:
+    """Build the structured rejection for a failing report."""
+    failed = report.failed()
+    first = failed[0]
+    witness = ""
+    if first.witness:
+        parts = ", ".join(f"{k}={v}" for k, v in first.witness.items())
+        witness = f" [witness: {parts}]"
+    more = f" (+{len(failed) - 1} more failed checks)" if len(failed) > 1 else ""
+    return KernelAdmissionError(
+        f"kernel rejected at admission: check {first.name!r} ({first.section}) "
+        f"failed: {first.detail}{witness}{more}",
+        report=report,
+    )

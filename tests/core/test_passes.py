@@ -44,6 +44,7 @@ def test_default_pipeline_order():
         "micro-kernel-mark",
         "latency-hiding",
         "ast-generation",
+        "verify",
     ]
 
 
@@ -86,7 +87,7 @@ def test_disable_unknown_pass_rejected():
 
 
 def test_disable_rewrites_cover_expected_passes():
-    assert set(DISABLE_REWRITES) == {"latency-hiding", "rma-derivation"}
+    assert set(DISABLE_REWRITES) == {"latency-hiding", "rma-derivation", "verify"}
 
 
 def test_disable_latency_hiding_matches_ablation_bit_exactly():

@@ -1,0 +1,75 @@
+"""Chaos suite re-run in guarded mode.
+
+The certificate guard must be transparent to the recovery layer: DMA
+retries re-issue the *same* admitted footprints, latency spikes reorder
+nothing the certificate speaks about, and checksum-repaired payloads
+keep their admitted sizes.  A guarded chaos run therefore completes
+with zero divergences and a result bit-exact to the fault-free run —
+while a certificate the run genuinely contradicts still fails loudly,
+faults or no faults.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import CompilerOptions, GemmCompiler, GemmSpec
+from repro.errors import CertificateDivergenceError
+from repro.faults import FaultPolicy, RetryPolicy
+from repro.runtime.executor import run_gemm
+from repro.sunway.arch import TOY_ARCH
+
+from tests.faults.test_chaos_gemm import CHAOS_RATE, CHAOS_SEED, compile_chaos
+
+
+def run_once(program, guarded, rng_seed=0, M=32, N=32, K=16):
+    rng = np.random.default_rng(rng_seed)
+    A = rng.standard_normal((M, K))
+    B = rng.standard_normal((K, N))
+    C0 = rng.standard_normal((M, N))
+    C, report = run_gemm(
+        program, A, B, C0.copy(), alpha=1.5, beta=0.5, guarded=guarded
+    )
+    return C, report
+
+
+def test_guarded_chaos_run_has_zero_divergences():
+    policy = FaultPolicy.chaos(seed=CHAOS_SEED, rate=CHAOS_RATE)
+    program = compile_chaos(policy)
+    clean_program = GemmCompiler(TOY_ARCH, CompilerOptions.full()).compile(
+        GemmSpec()
+    )
+    clean, _ = run_once(clean_program, guarded=False)
+    chaotic, report = run_once(program, guarded=True)
+    assert np.array_equal(chaotic, clean)
+    assert report.stats["guard_divergences"] == 0
+    assert report.stats["guard_events"] > 0
+    # The run still exercised the recovery layer under guard.
+    assert report.stats["dma_retries"] + report.stats["rma_retries"] > 0
+
+
+def test_guard_events_scale_with_retries():
+    """Retried transfers re-announce themselves to the guard; the
+    guarded fault-free and guarded chaotic runs agree on results while
+    the chaotic one observes at least as many events."""
+    policy = FaultPolicy.chaos(seed=CHAOS_SEED, rate=CHAOS_RATE)
+    clean_program = GemmCompiler(TOY_ARCH, CompilerOptions.full()).compile(
+        GemmSpec()
+    )
+    _, clean_report = run_once(clean_program, guarded=True)
+    _, chaos_report = run_once(compile_chaos(policy), guarded=True)
+    assert chaos_report.stats["guard_divergences"] == 0
+    assert (
+        chaos_report.stats["guard_events"]
+        >= clean_report.stats["guard_events"]
+    )
+
+
+def test_divergence_still_fires_under_chaos():
+    policy = FaultPolicy.chaos(seed=CHAOS_SEED, rate=CHAOS_RATE)
+    program = copy.deepcopy(compile_chaos(policy))
+    key = next(iter(program.verification.certificate["dma"]))
+    program.verification.certificate["dma"][key]["len"] += 1
+    with pytest.raises(CertificateDivergenceError):
+        run_once(program, guarded=True)

@@ -26,6 +26,7 @@ DEFAULT_PIPELINE = [
     "micro-kernel-mark",
     "latency-hiding",
     "ast-generation",
+    "verify",
 ]
 
 
