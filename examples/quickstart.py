@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import compile_c, run_gemm
+from repro import api, compile_c
 
 NAIVE_GEMM_C = """
 void gemm(int M, int N, int K, double alpha,
@@ -45,7 +45,7 @@ def main() -> None:
     A = rng.standard_normal((M, K))
     B = rng.standard_normal((K, N))
     C = np.zeros((M, N))
-    C, report = run_gemm(program, A, B, C, alpha=2.0, beta=0.0)
+    C, report = api.run(program, A, B, c=C, alpha=2.0, beta=0.0)
 
     # 4. Verify and report.
     error = np.abs(C - 2.0 * A @ B).max()

@@ -6,25 +6,37 @@ The package implements the paper's polyhedral GEMM compiler end to end —
 C frontend, schedule trees, compute decomposition, automatic DMA/RMA,
 two-level memory latency hiding, athread code generation — together with
 every substrate the evaluation depends on: a functional + timed simulator
-of one SW26010Pro core group, the vendor micro-kernel contract, and an
-xMath baseline model.  See DESIGN.md for the inventory and EXPERIMENTS.md
+of one SW26010Pro core group, the vendor micro-kernel contract, an xMath
+baseline model, and a model-guided autotuner over the tile/pipeline
+configuration space.  See DESIGN.md for the inventory and EXPERIMENTS.md
 for paper-vs-measured results.
 
-Quick start::
+Quick start — the stable facade is :mod:`repro.api`::
 
-    from repro import compile_c, run_gemm
     import numpy as np
+    from repro import api, GemmSpec
 
-    program = compile_c(open("gemm.c").read())
-    A = np.random.rand(1024, 1024); B = np.random.rand(1024, 1024)
-    C, report = run_gemm(program, A, B, np.zeros((1024, 1024)), beta=0.0)
-    print(report.gflops, "Gflops (simulated)")
+    program = api.compile(GemmSpec(), shape=(1024, 1024, 1024))
+    a = np.random.rand(1024, 1024); b = np.random.rand(1024, 1024)
+    result = api.run(program, a, b, beta=0.0)
+    print(result.gflops, "Gflops (simulated)")
+
+    record = api.tune(GemmSpec(), shape=(576, 1024, 512))
+    print(record.candidate.name(), f"{100 * record.improvement:.1f}% faster")
+
+The pre-facade entry points (``GemmCompiler``, ``run_gemm``,
+``KernelService``) still work but emit ``DeprecationWarning`` with their
+migration hint — see :mod:`repro.compat`.
 """
 
-from repro.core import CompilerOptions, GemmCompiler, GemmSpec
+from repro import api
+from repro.api import GemmResult
+from repro.compat import GemmCompiler, run_gemm
+from repro.core import CompilerOptions, GemmSpec
+from repro.core.options import TileConfig
 from repro.faults import FaultInjector, FaultPolicy, RetryPolicy, tile_checksum
 from repro.frontend import compile_c, extract_spec, parse_c
-from repro.runtime import CompiledProgram, ExecutionReport, Executor, run_gemm
+from repro.runtime import CompiledProgram, ExecutionReport, Executor
 from repro.runtime.simulator import PerformanceSimulator
 from repro.service import (
     CompileService,
@@ -34,34 +46,50 @@ from repro.service import (
     set_default_service,
 )
 from repro.sunway import SW26010, SW26010PRO, TOY_ARCH, ArchSpec, Cluster
+from repro.tune import TuneOptions, Tuner, TuningRecord, TuningRecordStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    # the stable facade
+    "api",
+    "GemmResult",
+    # problem + options
+    "GemmSpec",
+    "CompilerOptions",
+    "TileConfig",
+    # compilation service
     "CompileService",
     "ServiceConfig",
     "cache_key",
     "get_default_service",
     "set_default_service",
-    "GemmCompiler",
-    "GemmSpec",
-    "CompilerOptions",
+    # autotuner
+    "Tuner",
+    "TuneOptions",
+    "TuningRecord",
+    "TuningRecordStore",
+    # frontend + runtime
     "compile_c",
     "extract_spec",
     "parse_c",
     "CompiledProgram",
     "Executor",
     "ExecutionReport",
-    "run_gemm",
     "PerformanceSimulator",
+    # fault plane
     "FaultPolicy",
     "RetryPolicy",
     "FaultInjector",
     "tile_checksum",
+    # architectures
     "ArchSpec",
     "Cluster",
     "SW26010PRO",
     "SW26010",
     "TOY_ARCH",
+    # deprecated shims (warn on use)
+    "GemmCompiler",
+    "run_gemm",
     "__version__",
 ]

@@ -9,8 +9,10 @@ with the simulated swgemm numbers and the xMath model's numbers, plus an
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.shapes import (
@@ -38,6 +40,28 @@ class FigureResult:
 
 def _mean(values: Sequence[float]) -> float:
     return sum(values) / len(values)
+
+
+def repo_root() -> Path:
+    """The checkout root (the nearest ancestor with ``pytest.ini`` or a
+    ``.git`` directory), falling back to the current directory."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pytest.ini").exists() or (parent / ".git").exists():
+            return parent
+    return Path.cwd()
+
+
+def write_bench_file(name: str, payload: Dict[str, object]) -> Path:
+    """Write one ``BENCH_*.json`` snapshot to the repo root.
+
+    The payload is deterministic (no wall-clock fields), so reruns of an
+    unchanged tree produce byte-identical files and the snapshots can be
+    committed and diffed.
+    """
+    path = repo_root() / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 # ---------------------------------------------------------------------------
@@ -286,3 +310,114 @@ def fig16_fusion(
         [result.aggregate["speedup_prologue"], result.aggregate["speedup_epilogue"]]
     )
     return result
+
+
+# ---------------------------------------------------------------------------
+# Autotuner ablation: model-guided search vs the fixed 64x64x32 point
+# ---------------------------------------------------------------------------
+
+#: (batch, (M, N, K)) cases where the paper's single analytical point is
+#: *not* optimal: ragged shapes whose padding waste dominates, and a
+#: batched shape far below the kernel's native tile.
+TUNE_ABLATION_CASES: Tuple[Tuple[int, Shape], ...] = (
+    (1, (576, 1024, 512)),
+    (1, (1280, 768, 512)),
+    (1, (192, 576, 384)),
+    (256, (32, 256, 256)),
+)
+
+
+def tune_ablation(
+    arch: ArchSpec = SW26010PRO,
+    cases: Sequence[Tuple[int, Shape]] = TUNE_ABLATION_CASES,
+    seed: int = 7,
+    budget: int = 12,
+    service=None,
+) -> FigureResult:
+    """Run the model-guided autotuner per shape class and compare the
+    winner against the default 64×64×32 configuration.
+
+    The search is a pure function of ``seed`` (no wall clock, no
+    ``random``), so the resulting rows — and the ``BENCH_tune.json``
+    snapshot built from them — are reproducible bit for bit.
+    """
+    from repro.service import CompileService, ServiceConfig
+    from repro.tune import TuneOptions, Tuner
+
+    service = service or CompileService(ServiceConfig())
+    result = FigureResult("tune")
+    for batch, (M, N, K) in cases:
+        tuner = Tuner(arch, service=service)
+        res = tuner.tune(
+            M=M,
+            N=N,
+            K=K,
+            batch=batch,
+            tune_options=TuneOptions(seed=seed, max_measurements=budget),
+        )
+        rec = res.record
+        result.rows.append(
+            {
+                "shape": (f"b{batch}:" if batch > 1 else "") + f"{M}x{N}x{K}",
+                "batch": batch,
+                "M": M,
+                "N": N,
+                "K": K,
+                "default": rec.default_gflops,
+                "tuned": rec.best_gflops,
+                "improvement_pct": round(100 * rec.improvement, 2),
+                "config": rec.candidate.name(),
+                "strategy": res.strategy,
+                "candidates": res.candidates_total,
+                "pruned": res.pruned,
+                "measured": res.measured,
+                "seed": rec.seed,
+            }
+        )
+    defaults = [r["default"] for r in result.rows]
+    tuned = [r["tuned"] for r in result.rows]
+    result.aggregate = {
+        "cases": float(len(result.rows)),
+        "mean_default": _mean(defaults),
+        "mean_tuned": _mean(tuned),
+        "mean_improvement_pct": _mean(
+            [r["improvement_pct"] for r in result.rows]
+        ),
+        "wins_over_5pct": float(
+            sum(1 for r in result.rows if r["improvement_pct"] >= 5.0)
+        ),
+        "tuned_vs_default": _mean(tuned) / _mean(defaults),
+    }
+    return result
+
+
+def tune_bench_payloads(
+    result: FigureResult,
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Split one :func:`tune_ablation` result into the two committed
+    snapshots: the tuned numbers and the fixed-configuration baseline."""
+    tuned = {
+        "figure": "tune",
+        "rows": result.rows,
+        "aggregate": result.aggregate,
+    }
+    baseline = {
+        "figure": "tune-baseline",
+        "rows": [
+            {
+                "shape": r["shape"],
+                "batch": r["batch"],
+                "M": r["M"],
+                "N": r["N"],
+                "K": r["K"],
+                "config": "64x64x32 (analytical default)",
+                "gflops": r["default"],
+            }
+            for r in result.rows
+        ],
+        "aggregate": {
+            "cases": result.aggregate["cases"],
+            "mean_gflops": result.aggregate["mean_default"],
+        },
+    }
+    return tuned, baseline

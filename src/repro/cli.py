@@ -24,13 +24,25 @@ plus the compilation-service surface::
     swgemm cache clear                         # drop all artifacts
     swgemm --no-cache perf ...                 # bypass the kernel cache
 
-and the admission-control surface::
+the admission-control surface::
 
     swgemm verify gemm.c                       # per-check safety report
     swgemm compile --explain-verify            # report alongside codegen
     swgemm run --guarded ...                   # certificate-checked run
     swgemm compile --no-verify                 # escape hatch (bit-exact code)
     swgemm --timeout 10 compile ...            # structured compile deadline
+
+and the autotuning surface::
+
+    swgemm tune -M 576 -N 1024 -K 512          # model-guided search
+    swgemm tune --batch-count 256 -M 32 ...    # tune a batched shape class
+    swgemm tune --show                         # list stored tuning records
+    swgemm run -M 576 -N 1024 -K 512 ...       # steered by matching records
+
+Global flags (``--cache-dir``, ``--no-cache``, ``--timeout``, ``--arch``,
+the fault-injection family, ``--debug``) are accepted both before and
+after the subcommand: ``swgemm --no-cache perf`` and
+``swgemm perf --no-cache`` are the same invocation.
 
 Programs are obtained through :class:`repro.service.CompileService`, so
 repeated invocations reuse on-disk artifacts under ``~/.cache/swgemm``
@@ -63,6 +75,74 @@ def _load_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
     return Path(path).read_text()
+
+
+_ARCH_CHOICES = ("sw26010pro", "sw26010", "toy")
+
+
+def _arch_from_args(args) -> "ArchSpec":
+    from repro.sunway import SW26010, SW26010PRO, TOY_ARCH
+
+    return {
+        "sw26010pro": SW26010PRO,
+        "sw26010": SW26010,
+        "toy": TOY_ARCH,
+    }[getattr(args, "arch", "sw26010pro")]
+
+
+def _add_shared_flags(parser, suppress: bool = False) -> None:
+    """The flags every subcommand shares.
+
+    Added twice: on the root parser with their real defaults, and (with
+    ``suppress=True``) on a parent parser inherited by every subcommand
+    with :data:`argparse.SUPPRESS` defaults — so ``swgemm --no-cache
+    perf`` and ``swgemm perf --no-cache`` both parse, and a value given
+    after the subcommand overrides one given before it.
+    """
+
+    def default(value):
+        return argparse.SUPPRESS if suppress else value
+
+    parser.add_argument(
+        "--no-cache", action="store_true", default=default(False),
+        help="bypass the kernel compilation cache entirely",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=default(None),
+        help="artifact store location (default: $SWGEMM_CACHE_DIR "
+        "or ~/.cache/swgemm)",
+    )
+    parser.add_argument(
+        "--arch", choices=_ARCH_CHOICES, default=default("sw26010pro"),
+        help="target architecture model (default: sw26010pro)",
+    )
+    parser.add_argument(
+        "--debug", action="store_true", default=default(False),
+        help="print full tracebacks instead of one-line errors",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=default(None), metavar="S",
+        help="compile deadline in wall seconds; exceeding it raises a "
+        "structured CompileTimeout instead of hanging",
+    )
+    parser.add_argument(
+        "--inject-faults", action="store_true", default=default(False),
+        help="enable the deterministic fault-injection plane (chaos preset)",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=default(0.05), metavar="P",
+        help="per-transfer fault probability under --inject-faults "
+        "(default: 0.05)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=default(0), metavar="SEED",
+        help="seed of the deterministic fault streams (default: 0)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=default(3), metavar="N",
+        help="retry budget per transfer before a TransientFaultError "
+        "(default: 3)",
+    )
 
 
 def _fault_policies_from_args(args):
@@ -152,10 +232,10 @@ def _build_introspected(args, spec, options) -> "CompiledProgram":
     ``--disable-pass`` rides along for the same bit-exact guarantee.
     """
     from repro.core.pipeline import GemmCompiler
-    from repro.sunway.arch import SW26010PRO
 
     compiler = GemmCompiler(
-        SW26010PRO, options, disable_passes=tuple(args.disable_pass or ())
+        _arch_from_args(args), options,
+        disable_passes=tuple(args.disable_pass or ()),
     )
 
     def sink(pass_, header, snapshot):
@@ -176,8 +256,6 @@ def _build_introspected(args, spec, options) -> "CompiledProgram":
 
 
 def _build_program(args, service=None) -> "CompiledProgram":
-    from repro.sunway.arch import SW26010PRO
-
     spec, options = _spec_and_options(args)
     if _introspection_requested(args):
         return _build_introspected(args, spec, options)
@@ -187,8 +265,14 @@ def _build_program(args, service=None) -> "CompiledProgram":
             fault_policy=fault_policy, retry_policy=retry_policy
         )
     service = service or _service_from_args(args)
+    shape_hint = None
+    if all(hasattr(args, dim) for dim in ("M", "N", "K")):
+        # Commands carrying a concrete shape (run) are steered to a
+        # tuned configuration when the shape class has a record.
+        shape_hint = (args.M, args.N, args.K)
     return service.get_program(
-        spec, SW26010PRO, options, timeout_s=getattr(args, "timeout", None)
+        spec, _arch_from_args(args), options,
+        timeout_s=getattr(args, "timeout", None), shape_hint=shape_hint,
     )
 
 
@@ -220,15 +304,14 @@ def cmd_verify(args) -> int:
     """Run the admission verifier explicitly and report, instead of
     compiling through the gate (which would raise on the first failure)."""
     from repro.core.pipeline import GemmCompiler
-    from repro.sunway.arch import SW26010PRO
     from repro.verify import verify_program
 
     spec, options = _spec_and_options(args)
     # Compile without the terminal gate so a failing kernel still yields
     # a full report (the gate would abort at the first failed check).
-    program = GemmCompiler(SW26010PRO, options.with_(verify=False)).compile(
-        spec, timeout_s=getattr(args, "timeout", None)
-    )
+    program = GemmCompiler(
+        _arch_from_args(args), options.with_(verify=False)
+    ).compile(spec, timeout_s=getattr(args, "timeout", None))
     report = verify_program(program)
     if args.json:
         print(json.dumps(report.describe(), indent=2, sort_keys=True))
@@ -245,11 +328,11 @@ def cmd_tree(args) -> int:
 
 def cmd_passes_list(args) -> int:
     from repro.core.pipeline import GemmCompiler
-    from repro.sunway.arch import SW26010PRO
 
     spec, options = _spec_and_options(args)
     compiler = GemmCompiler(
-        SW26010PRO, options, disable_passes=tuple(args.disable_pass or ())
+        _arch_from_args(args), options,
+        disable_passes=tuple(args.disable_pass or ()),
     )
     passes = compiler.pipeline_for(spec)
     effective = compiler.effective_options(spec)
@@ -304,7 +387,9 @@ def cmd_perf(args) -> int:
     from repro.runtime.simulator import PerformanceSimulator
     from repro.xmath.perfmodel import xmath_gflops
 
-    sim = PerformanceSimulator(service=_service_from_args(args))
+    sim = PerformanceSimulator(
+        _arch_from_args(args), service=_service_from_args(args)
+    )
     fault_policy, retry_policy = _fault_policies_from_args(args)
     breakdown = sim.breakdown(
         args.M, args.N, args.K,
@@ -316,6 +401,74 @@ def cmd_perf(args) -> int:
     lib = xmath_gflops(args.M, args.N, args.K, sim.arch)
     print(f"{'xMath':>9s}: {lib:8.1f} Gflops "
           f"({100 * lib / sim.arch.peak_gflops:5.1f}% of peak)")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro import api
+
+    _validate_cache_dir(args)
+    service = _service_from_args(args)
+    if args.show:
+        rows = [r.describe() for r in service.tuning_store.records()]
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        elif not rows:
+            print("no tuning records stored")
+        else:
+            for row in rows:
+                print(
+                    f"{row['shape_class']:>16s}  {row['config']:>26s}  "
+                    f"{row['best_gflops']:8.1f} Gflops  "
+                    f"({row['improvement_pct']:+6.2f}% vs default)  "
+                    f"[{row['arch']}, seed {row['seed']}, "
+                    f"{row['key'][:12]}]"
+                )
+        return 0
+
+    if getattr(args, "source", None):
+        spec, options = _spec_and_options(args)
+    else:
+        # No source: let the tuner pick the (possibly batched) default
+        # spec for --batch-count, honoring any explicit knob flags.
+        spec, options = None, None
+        if args.no_use_asm or args.no_rma or args.no_hiding:
+            from repro.core.options import CompilerOptions
+
+            options = CompilerOptions.full().with_(
+                use_asm=not args.no_use_asm,
+                enable_rma=not args.no_rma,
+                enable_latency_hiding=not (args.no_hiding or args.no_use_asm),
+            )
+    result = api.tune(
+        spec,
+        shape=(args.M, args.N, args.K, args.batch_count),
+        arch=_arch_from_args(args),
+        seed=args.seed,
+        budget=args.budget,
+        options=options,
+        service=service,
+        full_result=True,
+    )
+    if args.json:
+        print(json.dumps(result.describe(), indent=2, sort_keys=True))
+        return 0
+    row = result.describe()
+    print(
+        f"searched {result.candidates_total} candidate(s): "
+        f"{result.pruned} pruned analytically, {result.measured} measured, "
+        f"{result.resumed} resumed from journal ({result.strategy})"
+    )
+    print(f"shape class : {row['shape_class']}")
+    print(f"best config : {row['config']}")
+    print(
+        f"best        : {row['best_gflops']:.1f} Gflops "
+        f"(default {row['default_gflops']:.1f}, "
+        f"{row['improvement_pct']:+.2f}%)"
+    )
+    print(f"record      : {row['key'][:16]} (search space v{row['space_version']})")
+    if service.tuning_store.root is None:
+        print("note: cache disabled — record not persisted (--no-cache)")
     return 0
 
 
@@ -348,6 +501,7 @@ def cmd_cache_stats(args) -> int:
         ("quarantined", "quarantined"),
         ("verified on load", "verified_on_load"),
         ("verify rejected", "verify_rejected"),
+        ("tuning hits", "tuning_hits"),
     ):
         print(f"  {label:>18s}: {int(persistent.get(key, 0))}")
     qfiles = int(disk.get("quarantine_files", 0))
@@ -357,6 +511,12 @@ def cmd_cache_stats(args) -> int:
     print(f"  {'compile seconds':>18s}: {seconds:.3f}")
     hits = int(persistent.get("memory_hits", 0)) + int(persistent.get("disk_hits", 0))
     print(f"  {'total cache hits':>18s}: {hits}")
+    tuning = report.get("tuning")
+    if tuning:
+        print("tuning records:")
+        print(f"  {'stored':>18s}: {int(tuning.get('records', 0))}")
+        print(f"  {'lookups (session)':>18s}: {int(tuning.get('lookups', 0))}")
+        print(f"  {'hits (session)':>18s}: {int(tuning.get('hits', 0))}")
     return 0
 
 
@@ -364,9 +524,13 @@ def cmd_cache_clear(args) -> int:
     _validate_cache_dir(args)
     service = _service_from_args(args)
     removed = service.clear()
+    records = service.tuning_store.clear()
     if service.store is not None:
         service.store.bump_persistent_stats({})  # reset timestamp
-    print(f"removed {removed['disk']} cached artifact(s)")
+    print(
+        f"removed {removed['disk']} cached artifact(s) and "
+        f"{records} tuning record(s)"
+    )
     return 0
 
 
@@ -405,42 +569,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="bypass the kernel compilation cache entirely",
-    )
-    parser.add_argument(
-        "--cache-dir", metavar="DIR",
-        help="artifact store location (default: $SWGEMM_CACHE_DIR "
-        "or ~/.cache/swgemm)",
-    )
-    parser.add_argument(
-        "--debug", action="store_true",
-        help="print full tracebacks instead of one-line errors",
-    )
-    parser.add_argument(
-        "--timeout", type=float, default=None, metavar="S",
-        help="compile deadline in wall seconds; exceeding it raises a "
-        "structured CompileTimeout instead of hanging",
-    )
-    parser.add_argument(
-        "--inject-faults", action="store_true",
-        help="enable the deterministic fault-injection plane (chaos preset)",
-    )
-    parser.add_argument(
-        "--fault-rate", type=float, default=0.05, metavar="P",
-        help="per-transfer fault probability under --inject-faults "
-        "(default: 0.05)",
-    )
-    parser.add_argument(
-        "--fault-seed", type=int, default=0, metavar="SEED",
-        help="seed of the deterministic fault streams (default: 0)",
-    )
-    parser.add_argument(
-        "--max-retries", type=int, default=3, metavar="N",
-        help="retry budget per transfer before a TransientFaultError "
-        "(default: 3)",
-    )
+    _add_shared_flags(parser)
+    shared = argparse.ArgumentParser(add_help=False)
+    _add_shared_flags(shared, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p, with_source=True):
@@ -476,7 +607,9 @@ def build_parser() -> argparse.ArgumentParser:
                 "(bypasses the cache)",
             )
 
-    p_compile = sub.add_parser("compile", help="generate athread C files")
+    p_compile = sub.add_parser(
+        "compile", help="generate athread C files", parents=[shared]
+    )
     add_common(p_compile)
     add_introspection(p_compile)
     p_compile.add_argument("-o", "--output", default="swgemm_out")
@@ -487,14 +620,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.set_defaults(func=cmd_compile)
 
     p_verify = sub.add_parser(
-        "verify", help="run the kernel admission verifier and report"
+        "verify", help="run the kernel admission verifier and report",
+        parents=[shared],
     )
     add_common(p_verify)
     p_verify.add_argument("--json", action="store_true",
                           help="machine-readable report")
     p_verify.set_defaults(func=cmd_verify)
 
-    p_tree = sub.add_parser("tree", help="dump the final schedule tree")
+    p_tree = sub.add_parser(
+        "tree", help="dump the final schedule tree", parents=[shared]
+    )
     add_common(p_tree)
     add_introspection(p_tree)
     p_tree.set_defaults(func=cmd_tree)
@@ -504,13 +640,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     passes_sub = p_passes.add_subparsers(dest="passes_command", required=True)
     p_passes_list = passes_sub.add_parser(
-        "list", help="show the variant-aware pass pipeline and its identity"
+        "list", help="show the variant-aware pass pipeline and its identity",
+        parents=[shared],
     )
     add_common(p_passes_list)
     add_introspection(p_passes_list, with_snapshots=False)
     p_passes_list.set_defaults(func=cmd_passes_list)
 
-    p_run = sub.add_parser("run", help="execute functionally on the simulator")
+    p_run = sub.add_parser(
+        "run", help="execute functionally on the simulator", parents=[shared]
+    )
     add_common(p_run)
     for dim, default in (("M", 512), ("N", 512), ("K", 256)):
         p_run.add_argument(f"-{dim}", type=int, default=default)
@@ -523,26 +662,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.set_defaults(func=cmd_run)
 
-    p_perf = sub.add_parser("perf", help="timed simulation vs xMath")
+    p_perf = sub.add_parser(
+        "perf", help="timed simulation vs xMath", parents=[shared]
+    )
     for dim, default in (("M", 4096), ("N", 4096), ("K", 4096)):
         p_perf.add_argument(f"-{dim}", type=int, default=default)
     p_perf.set_defaults(func=cmd_perf)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="model-guided search of the tile/pipeline space for a shape",
+        parents=[shared],
+    )
+    add_common(p_tune)
+    for dim, default in (("M", 1024), ("N", 1024), ("K", 1024)):
+        p_tune.add_argument(f"-{dim}", type=int, default=default)
+    p_tune.add_argument(
+        "--batch-count", type=int, default=1, metavar="B",
+        help="tune for a batched problem of B matrices (default: 1)",
+    )
+    p_tune.add_argument(
+        "--seed", type=int, default=0,
+        help="search seed; the whole search is a pure function of it "
+        "(default: 0)",
+    )
+    p_tune.add_argument(
+        "--budget", type=int, default=20, metavar="N",
+        help="maximum simulator measurements (default: 20)",
+    )
+    p_tune.add_argument(
+        "--show", action="store_true",
+        help="list the stored tuning records instead of searching",
+    )
+    p_tune.add_argument("--json", action="store_true",
+                        help="machine-readable result")
+    p_tune.set_defaults(func=cmd_tune)
 
     p_cache = sub.add_parser(
         "cache", help="inspect and manage the kernel compilation cache"
     )
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
 
-    p_stats = cache_sub.add_parser("stats", help="two-tier cache report")
+    p_stats = cache_sub.add_parser(
+        "stats", help="two-tier cache report", parents=[shared]
+    )
     p_stats.add_argument("--json", action="store_true",
                          help="machine-readable report")
     p_stats.set_defaults(func=cmd_cache_stats)
 
-    p_clear = cache_sub.add_parser("clear", help="remove all cached artifacts")
+    p_clear = cache_sub.add_parser(
+        "clear", help="remove all cached artifacts", parents=[shared]
+    )
     p_clear.set_defaults(func=cmd_cache_clear)
 
     p_warmup = cache_sub.add_parser(
-        "warmup", help="precompile the standard kernel variants"
+        "warmup", help="precompile the standard kernel variants",
+        parents=[shared],
     )
     p_warmup.add_argument("--workers", type=int, default=None,
                           help="worker threads for independent keys")

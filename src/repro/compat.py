@@ -1,0 +1,61 @@
+"""Deprecated pre-facade entry points.
+
+Everything here works exactly as before — these are thin shims over the
+real implementations — but each use emits a :class:`DeprecationWarning`
+with the one-line migration to :mod:`repro.api`:
+
+===============================  ======================================
+old entry point                  replacement
+===============================  ======================================
+``repro.GemmCompiler(...)``      ``repro.api.compile(spec, ...)``
+``repro.run_gemm(program, ...)`` ``repro.api.run(program, a, b)``
+``KernelService(config)``        ``CompileService(config)`` or the
+                                 facade (see
+                                 :class:`repro.service.KernelService`)
+===============================  ======================================
+
+Internal modules import from the real homes
+(:mod:`repro.core.pipeline`, :mod:`repro.runtime.executor`) and never
+warn; only the legacy top-level spellings do.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.core.pipeline import GemmCompiler as _GemmCompiler
+from repro.runtime.executor import run_gemm as _run_gemm
+
+__all__ = ["GemmCompiler", "run_gemm"]
+
+
+def _warn(old: str, hint: str, stacklevel: int = 3) -> None:
+    warnings.warn(
+        f"{old} is deprecated; {hint}",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+class GemmCompiler(_GemmCompiler):
+    """Deprecated: use :func:`repro.api.compile` (cached, tuned,
+    single-flight) or :class:`repro.core.pipeline.GemmCompiler` when a
+    raw uncached pipeline is really wanted."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        _warn(
+            "repro.GemmCompiler",
+            "use repro.api.compile(spec, ...) — it caches, single-flights "
+            "and applies tuning records",
+        )
+        super().__init__(*args, **kwargs)
+
+
+def run_gemm(*args, **kwargs):
+    """Deprecated: use :func:`repro.api.run`."""
+    _warn(
+        "repro.run_gemm",
+        "use repro.api.run(program, a, b) — it returns a structured "
+        "GemmResult",
+    )
+    return _run_gemm(*args, **kwargs)

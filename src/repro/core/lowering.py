@@ -45,7 +45,9 @@ class GemmLowering:
         self.spec = dec.spec
         self.plan = dec.plan
         self.options = dec.options
-        self.kernel = get_kernel(_arch_of(dec), dec.options.use_asm)
+        self.kernel = get_kernel(
+            _arch_of(dec), dec.options.use_asm, dec.plan.kernel_shape
+        )
 
     # ------------------------------------------------------------------
     # Extension statements

@@ -16,8 +16,83 @@ from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.faults import FaultPolicy, RetryPolicy
+from repro.sunway.arch import ArchSpec, MicroKernelShape
 
 FUSION_MODES = ("none", "prologue", "epilogue")
+
+#: SIMD alignment every tile dimension must respect: the vector kernel
+#: processes 8-double rows in 4-wide register groups, so tiles that are
+#: not multiples of 4 cannot be register-blocked.
+TILE_ALIGN = 4
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """First-class tunable tile/pipeline configuration.
+
+    The paper fixes the micro-kernel shape at 64×64×32 analytically
+    (§3.1); the autotuner (:mod:`repro.tune`) instead searches this
+    space.  A ``TileConfig`` carries the (X̂, Ŷ, Ẑ) tile sizes plus the
+    two pipeline knobs that interact with them:
+
+    * ``buffer_depth`` — SPM slots per input buffer.  ``None`` derives
+      the depth from ``enable_latency_hiding`` (2 when hiding, else 1);
+      an explicit 1 forces single buffering (and disables hiding during
+      option reconciliation), an explicit 2 forces double buffering.
+    * ``k_strip`` — the k-strip-mine factor.  ``None`` derives it from
+      the RMA mode (mesh size with RMA, 1 without, §5.2); an explicit
+      value must match that derivation or the plan is rejected — the
+      field exists so search-space points are self-describing.
+    """
+
+    mt: int
+    nt: int
+    kt: int
+    buffer_depth: Optional[int] = None
+    k_strip: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name, value in (("mt", self.mt), ("nt", self.nt), ("kt", self.kt)):
+            if value <= 0 or value % TILE_ALIGN != 0:
+                raise ConfigurationError(
+                    f"tile {name}={value} must be a positive multiple of "
+                    f"{TILE_ALIGN} (SIMD register blocking)"
+                )
+        if self.buffer_depth not in (None, 1, 2):
+            raise ConfigurationError(
+                f"buffer_depth={self.buffer_depth!r} must be None, 1 or 2"
+            )
+        if self.k_strip is not None and self.k_strip <= 0:
+            raise ConfigurationError(
+                f"k_strip={self.k_strip!r} must be None or positive"
+            )
+
+    def shape(self) -> MicroKernelShape:
+        return MicroKernelShape(self.mt, self.nt, self.kt)
+
+    def name(self) -> str:
+        parts = [f"{self.mt}x{self.nt}x{self.kt}"]
+        if self.buffer_depth is not None:
+            parts.append(f"d{self.buffer_depth}")
+        if self.k_strip is not None:
+            parts.append(f"s{self.k_strip}")
+        return "-".join(parts)
+
+    def is_default_for(self, arch: "ArchSpec") -> bool:
+        """True when this config pins exactly the arch's analytical
+        default with derived pipeline knobs — such configs normalise to
+        ``tile_config=None`` in cache keys."""
+        mk = arch.micro_kernel
+        return (
+            (self.mt, self.nt, self.kt) == (mk.mt, mk.nt, mk.kt)
+            and self.buffer_depth is None
+            and self.k_strip is None
+        )
+
+    @staticmethod
+    def default_for(arch: "ArchSpec") -> "TileConfig":
+        mk = arch.micro_kernel
+        return TileConfig(mt=mk.mt, nt=mk.nt, kt=mk.kt)
 
 #: Element-wise functions available for fusion patterns.  ``quant`` is the
 #: quantisation prologue over A and ``relu`` the activation epilogue over C
@@ -45,6 +120,10 @@ class CompilerOptions:
     prologue_func: str = "quant"
     #: Element-wise function used by the fused epilogue.
     epilogue_func: str = "relu"
+    #: Tunable tile/pipeline configuration (``None`` = the arch's
+    #: analytical default shape with derived pipeline knobs).  Set by the
+    #: autotuner (:mod:`repro.tune`) or ``--tile MTxNTxKT`` explicitly.
+    tile_config: Optional[TileConfig] = None
     #: Fault-injection plane threaded through every entry point that
     #: consumes this option set (``--inject-faults`` / ``--fault-seed``).
     #: Runtime-only: excluded from cache keys, see
@@ -107,12 +186,16 @@ class CompilerOptions:
 
     def variant_name(self) -> str:
         if not self.use_asm:
-            return "dma-only"
-        if not self.enable_rma:
-            return "+asm"
-        if not self.enable_latency_hiding:
-            return "+rma"
-        return "+hiding"
+            base = "dma-only"
+        elif not self.enable_rma:
+            base = "+asm"
+        elif not self.enable_latency_hiding:
+            base = "+rma"
+        else:
+            base = "+hiding"
+        if self.tile_config is not None:
+            return f"{base}@{self.tile_config.name()}"
+        return base
 
     def with_(self, **overrides) -> "CompilerOptions":
         return replace(self, **overrides)

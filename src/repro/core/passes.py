@@ -29,7 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import CompilationError, CompileTimeout, ConfigurationError
@@ -65,7 +65,11 @@ PIPELINE_SCHEMA_VERSION = 1
 # ---------------------------------------------------------------------------
 
 
-def reconcile_options(spec: GemmSpec, options: CompilerOptions) -> CompilerOptions:
+def reconcile_options(
+    spec: GemmSpec,
+    options: CompilerOptions,
+    arch: Optional["ArchSpec"] = None,
+) -> CompilerOptions:
     """The canonical option set for ``(spec, options)``.
 
     The spec is authoritative for everything it states: a batched spec
@@ -77,6 +81,13 @@ def reconcile_options(spec: GemmSpec, options: CompilerOptions) -> CompilerOptio
     what the service hashes into its cache key — so two requests that
     can only ever produce the same kernel share one artifact, and
     requests that differ (fused vs unfused specs) never collide.
+
+    With ``arch`` supplied, the tile configuration is normalised too: a
+    config pinning exactly the arch's analytical default collapses to
+    ``tile_config=None``, and redundant pipeline knobs (a
+    ``buffer_depth``/``k_strip`` equal to what the options/arch already
+    derive) are cleared — so an autotuned point that happens to restate
+    the defaults addresses the same artifact as a plain request.
     """
     if spec.is_batched and not options.batch:
         raise CompilationError(
@@ -116,6 +127,30 @@ def reconcile_options(spec: GemmSpec, options: CompilerOptions) -> CompilerOptio
         options = options.with_(prologue_func=defaults.prologue_func)
     if options.fusion != "epilogue" and options.epilogue_func != defaults.epilogue_func:
         options = options.with_(epilogue_func=defaults.epilogue_func)
+
+    cfg = options.tile_config
+    if cfg is not None:
+        # An explicit single-buffer depth overrides latency hiding (it is
+        # the more specific tuner knob); an explicit depth of 2 without
+        # hiding has no pipeline to feed, so it is derived away.
+        if cfg.buffer_depth == 1 and options.enable_latency_hiding:
+            options = options.with_(enable_latency_hiding=False)
+        if cfg.buffer_depth is not None:
+            # Once hiding is resolved the depth is fully derived (2 with
+            # hiding, else 1), so the explicit field is always redundant.
+            cfg = replace(cfg, buffer_depth=None)
+        if arch is not None:
+            derived_strip = (
+                arch.mesh_rows
+                if options.enable_rma and arch.rma_supported
+                else 1
+            )
+            if cfg.k_strip == derived_strip:
+                cfg = replace(cfg, k_strip=None)
+            if cfg.is_default_for(arch):
+                cfg = None
+        if cfg is not options.tile_config:
+            options = options.with_(tile_config=cfg)
     return options
 
 
@@ -511,7 +546,7 @@ class MicroKernelMarkPass(Pass):
                 "b_slot": slot,
             },
         )
-        kernel = get_kernel(ctx.arch, ctx.options.use_asm)
+        kernel = get_kernel(ctx.arch, ctx.options.use_asm, plan.kernel_shape)
         ctx.decide(
             f"point band marked for kernel {kernel.name} "
             f"(inputs {a_buffer}/{b_buffer})"
@@ -582,7 +617,9 @@ class AstGenerationPass(Pass):
             buffers=_buffer_decls(dec),
             replies=_reply_decls(dec, dma_specs, ctx.rma_specs),
             body=body,
-            kernel_name=get_kernel(ctx.arch, ctx.options.use_asm).name,
+            kernel_name=get_kernel(
+                ctx.arch, ctx.options.use_asm, dec.plan.kernel_shape
+            ).name,
         )
         ctx.info(
             f"{sum(1 for _ in walk_stmts(body))} AST statements, "

@@ -63,7 +63,7 @@ class GemmCompiler:
 
     def effective_options(self, spec: GemmSpec) -> CompilerOptions:
         """The reconciled option set this compiler would compile with."""
-        options = reconcile_options(spec, self.options)
+        options = reconcile_options(spec, self.options, self.arch)
         return apply_disabled_passes(options, self.disable_passes)
 
     def pipeline_for(self, spec: GemmSpec) -> List[Pass]:

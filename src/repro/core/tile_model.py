@@ -94,6 +94,13 @@ class TilePlan:
     def strip_factor(self) -> int:
         return self.mesh if self.use_rma else 1
 
+    @property
+    def kernel_shape(self) -> MicroKernelShape:
+        """The micro-kernel contract this plan was built around — the
+        single source of truth for kernel selection after tile selection
+        (the arch default may differ under an autotuned config)."""
+        return MicroKernelShape(self.mt, self.nt, self.kt)
+
     def spm_bytes(self) -> int:
         return sum(b.nbytes for b in self.buffers)
 
@@ -161,14 +168,38 @@ def plan_for_kernel(
     (§6.3): 1×C, 2×A and 2×B per level for both the DMA and the RMA
     stage.  Raises :class:`SPMOverflowError` if the plan cannot fit the
     SPM (minus a small reserve for stack and reply counters).
+
+    ``shape`` defaults to ``options.tile_config`` when one is set (the
+    autotuner path), otherwise to the arch's analytical default.  An
+    explicit tile config's pipeline knobs must cohere with the option
+    set: a ``buffer_depth`` contradicting the latency-hiding mode or a
+    ``k_strip`` contradicting the RMA strip-mine factor is rejected —
+    the pruner relies on this to discard inconsistent search points.
     """
-    shape = shape or arch.micro_kernel
+    cfg = options.tile_config
+    if shape is None:
+        shape = cfg.shape() if cfg is not None else arch.micro_kernel
     use_rma = options.enable_rma and arch.rma_supported
     if options.enable_rma and not arch.rma_supported:
         raise ConfigurationError(
             f"{arch.name} has no SPM RMA; compile with enable_rma=False"
         )
     double = options.enable_latency_hiding
+    if cfg is not None:
+        expected_depth = 2 if double else 1
+        if cfg.buffer_depth is not None and cfg.buffer_depth != expected_depth:
+            raise ConfigurationError(
+                f"tile config pins buffer_depth={cfg.buffer_depth} but "
+                f"enable_latency_hiding={double} derives depth "
+                f"{expected_depth}; reconcile the options first"
+            )
+        expected_strip = arch.mesh_rows if use_rma else 1
+        if cfg.k_strip is not None and cfg.k_strip != expected_strip:
+            raise ConfigurationError(
+                f"tile config pins k_strip={cfg.k_strip} but the "
+                f"{'RMA' if use_rma else 'DMA-only'} pipeline strip-mines "
+                f"K by {expected_strip}"
+            )
     plan = TilePlan(
         mt=shape.mt,
         nt=shape.nt,

@@ -107,7 +107,9 @@ class Executor:
         self.move_data = move_data
         #: interpret NaiveComputeStmt with scalar Python loops (test oracle)
         self.scalar_naive = scalar_naive
-        self.kernel = get_kernel(program.arch, program.options.use_asm)
+        self.kernel = get_kernel(
+            program.arch, program.options.use_asm, program.plan.kernel_shape
+        )
         self._blocked: Dict[Tuple[int, int], str] = {}
         self._progress = 0
 

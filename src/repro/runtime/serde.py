@@ -113,7 +113,7 @@ def _register_all() -> None:
     from repro.core.decomposition import Decomposition
     from repro.core.diagnostics import PassDiagnostic, PassStat
     from repro.core.dma import DmaSpec
-    from repro.core.options import CompilerOptions
+    from repro.core.options import CompilerOptions, TileConfig
     from repro.core.rma import RmaSpec
     from repro.core.spec import GemmSpec
     from repro.core.tile_model import BufferSpec, TilePlan
@@ -275,6 +275,7 @@ def _register_all() -> None:
     # -- compiler dataclasses --------------------------------------------
     for cls in (
         GemmSpec,
+        TileConfig,
         CompilerOptions,
         FaultPolicy,
         RetryPolicy,

@@ -150,12 +150,19 @@ class PerformanceSimulator:
         K: int,
         options: Optional[CompilerOptions] = None,
         batch: int = 1,
+        spec: Optional[GemmSpec] = None,
     ) -> PerfResult:
-        """Simulated Gflops for one shape under one compiler variant."""
+        """Simulated Gflops for one shape under one compiler variant.
+
+        ``spec`` overrides the options-derived default spec — the
+        autotuner measures candidate configs against the *caller's* spec
+        (fused or transposed layouts change the pipeline) rather than a
+        plain ``C = A×B``.
+        """
         options = options or CompilerOptions.full()
         if batch > 1 and not options.batch:
             options = options.with_(batch=True)
-        spec = self._default_spec(options)
+        spec = spec or self._default_spec(options)
         program = self.program_for(options, spec)
         plan = program.plan
         for value, step, name in (

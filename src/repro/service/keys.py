@@ -41,8 +41,11 @@ from repro.sunway.arch import SW26010PRO, ArchSpec
 
 #: Bumped when the key derivation or compiler output shape changes in a
 #: way that must invalidate existing artifacts.  2: reconciled options +
-#: pipeline identity entered the payload.
-CACHE_SCHEMA_VERSION = 2
+#: pipeline identity entered the payload.  3: ``tile_config`` joined
+#: ``CompilerOptions`` (autotuner) — pre-tile artifacts were compiled
+#: before the kernel shape became request-addressable, so they are
+#: invalidated wholesale rather than guessed at.
+CACHE_SCHEMA_VERSION = 3
 
 
 def canonical_blob(obj: object) -> str:
@@ -79,7 +82,10 @@ def cache_key(
         # artifact served to a verifying caller is re-verified (and the
         # report persisted) by the store's verify-on-load path.
         options = options.with_(verify=True)
-    options = reconcile_options(spec, options)
+    # Arch-aware reconciliation also collapses a tile config restating
+    # the arch's analytical default to ``tile_config=None``, so tuned
+    # requests that land on the default share the default's artifact.
+    options = reconcile_options(spec, options, arch)
     if pipeline is None:
         pipeline_id = pipeline_identity(build_pipeline(spec, arch, options))
     elif isinstance(pipeline, str):

@@ -120,6 +120,11 @@ class CompileService:
         )
         self._lock = threading.Lock()
         self._inflight: Dict[str, _Inflight] = {}
+        #: lazily-built tuning-record store (imported on first use so the
+        #: service module does not depend on repro.tune at import time)
+        self._tuning_store = None
+        self.tuning_lookups = 0
+        self.tuning_hits = 0
         self.requests = 0
         self.bypassed = 0
         self.deduped = 0
@@ -145,19 +150,24 @@ class CompileService:
         arch: Optional[ArchSpec] = None,
         options: Optional[CompilerOptions] = None,
         timeout_s: Optional[float] = None,
+        shape_hint: Optional[Tuple[int, ...]] = None,
     ) -> CompiledProgram:
         """The cached compile: memory → disk → single-flight compile.
 
         ``timeout_s`` is a wall-clock deadline for the *whole* request,
         including time spent waiting on another request's in-progress
         compilation; overruns raise :class:`repro.errors.CompileTimeout`.
+
+        ``shape_hint`` — ``(M, N, K)`` or ``(M, N, K, batch)`` — lets
+        the service consult the tuning-record store: a default-config
+        request whose shape class has a recorded winner is steered to
+        the tuned configuration before key derivation, so tuned shape
+        classes compile (and cache) straight to their best config.
         """
-        return self._get(
-            spec,
-            arch or SW26010PRO,
-            options or CompilerOptions(),
-            timeout_s=timeout_s,
-        )[0]
+        arch = arch or SW26010PRO
+        options = options or CompilerOptions()
+        options = self._apply_tuning(spec, arch, options, shape_hint)
+        return self._get(spec, arch, options, timeout_s=timeout_s)[0]
 
     def compile(
         self,
@@ -165,9 +175,12 @@ class CompileService:
         arch: Optional[ArchSpec] = None,
         options: Optional[CompilerOptions] = None,
         timeout_s: Optional[float] = None,
+        shape_hint: Optional[Tuple[int, ...]] = None,
     ) -> CompiledProgram:
         """Alias of :meth:`get_program` (the KernelService verb)."""
-        return self.get_program(spec, arch, options, timeout_s=timeout_s)
+        return self.get_program(
+            spec, arch, options, timeout_s=timeout_s, shape_hint=shape_hint
+        )
 
     def warmup(
         self,
@@ -231,7 +244,12 @@ class CompileService:
                     ),
                     "max_ms": 1e3 * self.compile_seconds_max,
                 },
+                "tuning": {
+                    "lookups": self.tuning_lookups,
+                    "hits": self.tuning_hits,
+                },
             }
+        report["tuning"]["records"] = len(self.tuning_store.keys())
         if self._store is not None:
             report["disk"] = self._store.stats()
             report["persistent"] = self._store.load_persistent_stats()
@@ -241,7 +259,64 @@ class CompileService:
     def store(self) -> Optional[ArtifactStore]:
         return self._store
 
+    @property
+    def tuning_store(self):
+        """The tuning-record store, rooted next to the artifact store
+        (``<cache-dir>/tuning/``) or in-memory for cache-less services."""
+        if self._tuning_store is None:
+            from repro.tune.records import TuningRecordStore
+
+            root = (
+                self.config.cache_dir / "tuning"
+                if self.config.cache_dir is not None
+                else None
+            )
+            self._tuning_store = TuningRecordStore(root)
+        return self._tuning_store
+
     # -- internals -----------------------------------------------------------
+
+    def _apply_tuning(
+        self,
+        spec: GemmSpec,
+        arch: ArchSpec,
+        options: CompilerOptions,
+        shape_hint: Optional[Tuple[int, ...]],
+    ) -> CompilerOptions:
+        """Steer a default-config request to its shape class's recorded
+        winner.
+
+        Only requests that leave every tunable knob at its default are
+        eligible: an explicit ``tile_config`` (or a deliberately reduced
+        variant — no-asm, no-RMA, no-hiding ablations) states intent the
+        tuner must not override.
+        """
+        if shape_hint is None or options.tile_config is not None:
+            return options
+        defaults = CompilerOptions()
+        if (
+            options.use_asm,
+            options.enable_rma,
+            options.enable_latency_hiding,
+        ) != (
+            defaults.use_asm,
+            defaults.enable_rma,
+            defaults.enable_latency_hiding,
+        ):
+            return options
+        from repro.tune.records import record_key, shape_class
+
+        with self._lock:
+            self.tuning_lookups += 1
+        record = self.tuning_store.get(
+            record_key(spec, arch, shape_class(*shape_hint))
+        )
+        if record is None:
+            return options
+        with self._lock:
+            self.tuning_hits += 1
+        self._flush_persistent({"tuning_hits": 1})
+        return record.apply(options)
 
     @staticmethod
     def _restamp(
@@ -289,7 +364,7 @@ class CompileService:
         # set is what the compiler compiles with, what cache_key hashes,
         # and what _restamp stamps onto cache hits — a hit can never hand
         # back options the compile itself would have rewritten.
-        options = reconcile_options(spec, options)
+        options = reconcile_options(spec, options, arch)
         deadline = (
             time.monotonic() + timeout_s if timeout_s is not None else None
         )
@@ -430,9 +505,25 @@ class CompileService:
             self._store.bump_persistent_stats(deltas)
 
 
-#: The service is the kernel *admission* surface as much as the caching
-#: one, and callers that talk to it for that reason know it by this name.
-KernelService = CompileService
+class KernelService(CompileService):
+    """Deprecated name of :class:`CompileService`.
+
+    Kept as a warning subclass (not a bare alias): existing constructor
+    call sites keep working — instances remain ``CompileService``s in
+    every ``isinstance`` sense — but each construction warns once with
+    the migration hint while the codebase moves to :mod:`repro.api`.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        import warnings
+
+        warnings.warn(
+            "KernelService is deprecated; construct CompileService or use "
+            "the repro.api facade (api.compile / api.tune)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,170 @@
+"""The autotuner's search space and its deterministic randomness.
+
+The paper picks one point — the 64×64×32 micro kernel with RMA
+broadcasts and two-level latency hiding — analytically (§3.1, §6.3).
+The tuner instead searches the surrounding configuration space:
+
+* (X̂, Ŷ, Ẑ) tile sizes — a power-of-two-ish grid around the arch's
+  analytical default (quarter to double per dimension, SIMD-aligned);
+* the k-strip factor and SPM buffer depth — pinned on each candidate's
+  :class:`~repro.core.options.TileConfig` so search points are
+  self-describing (option reconciliation collapses redundant pins);
+* RMA broadcasts on/off and latency hiding on/off.
+
+Randomness is a :class:`SplitMix64` generator seeded from the tuning
+options — never the ``random`` module or any wall-clock source — so a
+search is a pure function of ``(spec, arch, space, seed)`` and its
+result can be cached and replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.options import CompilerOptions, TileConfig
+from repro.sunway.arch import ArchSpec
+
+#: Bump when the candidate grid or the candidate encoding changes shape —
+#: tuning records are content-addressed by (spec-class, arch, space
+#: version), so old records stop matching instead of silently steering
+#: compiles to points the new space no longer contains.
+SEARCH_SPACE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the search space."""
+
+    tile: TileConfig
+    enable_rma: bool = True
+    enable_latency_hiding: bool = True
+
+    def name(self) -> str:
+        flags = ("rma" if self.enable_rma else "dma") + (
+            "+hide" if self.enable_latency_hiding else ""
+        )
+        return f"{self.tile.name()}:{flags}"
+
+    def knobs(self) -> Tuple[int, int, int, bool, bool]:
+        """The axes hill-climbing steps along (one knob per move)."""
+        return (
+            self.tile.mt,
+            self.tile.nt,
+            self.tile.kt,
+            self.enable_rma,
+            self.enable_latency_hiding,
+        )
+
+    def apply(self, options: CompilerOptions) -> CompilerOptions:
+        """The caller's options steered to this point.
+
+        Latency hiding only exists around the fast kernel
+        (``use_asm``), so a no-asm base keeps hiding off regardless.
+        """
+        return options.with_(
+            tile_config=self.tile,
+            enable_rma=self.enable_rma,
+            enable_latency_hiding=self.enable_latency_hiding
+            and options.use_asm,
+        )
+
+
+def _tile_sizes(default: int, floor: int = 4) -> List[int]:
+    """Quarter/half/default/double grid, SIMD-aligned, de-duplicated."""
+    raw = (default // 4, default // 2, default, default * 2)
+    sizes = sorted({max(floor, (v // 4) * 4) for v in raw if v >= floor})
+    return sizes or [default]
+
+
+def enumerate_candidates(
+    arch: ArchSpec, base_options: CompilerOptions
+) -> List[Candidate]:
+    """The full (unpruned) candidate list for one arch + base options.
+
+    Deterministically ordered — the order is part of the search's
+    reproducibility contract (restart indices address into it).
+    """
+    mk = arch.micro_kernel
+    rma_choices: Sequence[bool] = (
+        (True, False) if arch.rma_supported and base_options.enable_rma
+        else (False,)
+    )
+    hiding_choices: Sequence[bool] = (
+        (True, False)
+        if base_options.use_asm and base_options.enable_latency_hiding
+        else (False,)
+    )
+    candidates: List[Candidate] = []
+    for mt in _tile_sizes(mk.mt):
+        for nt in _tile_sizes(mk.nt):
+            for kt in _tile_sizes(mk.kt):
+                for rma in rma_choices:
+                    for hiding in hiding_choices:
+                        tile = TileConfig(
+                            mt=mt,
+                            nt=nt,
+                            kt=kt,
+                            buffer_depth=2 if hiding else 1,
+                            k_strip=arch.mesh_rows if rma else 1,
+                        )
+                        candidates.append(
+                            Candidate(tile, rma, hiding)
+                        )
+    return candidates
+
+
+def default_candidate(arch: ArchSpec, base_options: CompilerOptions) -> Candidate:
+    """The paper's point: the arch's analytical tile with the base
+    pipeline — the baseline every tuned config must beat."""
+    use_rma = base_options.enable_rma and arch.rma_supported
+    hiding = base_options.enable_latency_hiding and base_options.use_asm
+    mk = arch.micro_kernel
+    return Candidate(
+        TileConfig(
+            mt=mk.mt,
+            nt=mk.nt,
+            kt=mk.kt,
+            buffer_depth=2 if hiding else 1,
+            k_strip=arch.mesh_rows if use_rma else 1,
+        ),
+        enable_rma=use_rma,
+        enable_latency_hiding=hiding,
+    )
+
+
+class SplitMix64:
+    """Deterministic 64-bit PRNG (splitmix64), seeded from the tuning
+    options — the repo-wide rule that search results must be replayable
+    forbids the ``random`` module and wall-clock entropy."""
+
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & self._MASK
+
+    def next_u64(self) -> int:
+        self._state = (self._state + 0x9E3779B97F4A7C15) & self._MASK
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & self._MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & self._MASK
+        return z ^ (z >> 31)
+
+    def randrange(self, n: int) -> int:
+        if n <= 0:
+            raise ValueError("randrange needs a positive bound")
+        return self.next_u64() % n
+
+    def choice(self, seq: Sequence):
+        return seq[self.randrange(len(seq))]
+
+
+def neighbors(candidate: Candidate, pool: Sequence[Candidate]) -> Iterator[Candidate]:
+    """Pool members one knob-move away from ``candidate`` (the
+    hill-climb's step set)."""
+    own = candidate.knobs()
+    for other in pool:
+        if other is candidate:
+            continue
+        if sum(1 for a, b in zip(own, other.knobs()) if a != b) == 1:
+            yield other

@@ -14,6 +14,7 @@ Public surface:
 """
 
 from repro.verify.guard import CertificateGuard
+from repro.verify.static_checks import plan_spm_slack
 from repro.verify.report import (
     FAILED,
     PASSED,
@@ -43,6 +44,7 @@ __all__ = [
     "admit",
     "build_certificate",
     "machine_params",
+    "plan_spm_slack",
     "run_checks",
     "verify_program",
 ]

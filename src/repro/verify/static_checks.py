@@ -36,6 +36,17 @@ BASE_COUNTS: Dict[str, int] = {v: 1 for v in DMA_COUNT_VARS}
 # ---------------------------------------------------------------------------
 
 
+def plan_spm_slack(arch, plan) -> int:
+    """SPM headroom (bytes) the tile plan leaves; negative = overflow.
+
+    The plan-only core of the spm-budget admission check, shared with the
+    autotuner's analytical pruner so infeasible search points are
+    rejected by the *same* arithmetic the verifier later enforces —
+    without compiling anything.
+    """
+    return arch.spm_bytes - spm_reserve_bytes(arch) - plan.spm_bytes()
+
+
 def check_spm_budget(arch, plan, cpe_program) -> CheckResult:
     """The full buffer plan fits one CPE's scratch pad.
 

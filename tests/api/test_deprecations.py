@@ -1,0 +1,55 @@
+"""The pre-facade entry points keep working, but warn with a migration
+hint; the internal spellings they wrap stay silent."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.service import CompileService, ServiceConfig
+from repro.sunway.arch import TOY_ARCH
+
+
+def test_top_level_gemm_compiler_warns_and_works():
+    with pytest.warns(DeprecationWarning, match="repro.api.compile"):
+        compiler = repro.GemmCompiler(TOY_ARCH)
+    program = compiler.compile(repro.GemmSpec())
+    assert program.verification is not None
+
+
+def test_top_level_run_gemm_warns_and_returns_tuple():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        program = repro.GemmCompiler(TOY_ARCH).compile(repro.GemmSpec())
+    a = np.ones((32, 16))
+    b = np.ones((16, 32))
+    with pytest.warns(DeprecationWarning, match="repro.api.run"):
+        c, report = repro.run_gemm(program, a, b, beta=0.0)
+    assert np.allclose(c, a @ b)
+
+
+def test_kernel_service_warns_and_stays_a_compile_service():
+    from repro.service import KernelService
+
+    with pytest.warns(DeprecationWarning, match="CompileService"):
+        svc = KernelService(ServiceConfig(enabled=False))
+    assert isinstance(svc, CompileService)
+    program = svc.get_program(
+        repro.GemmSpec(), TOY_ARCH, repro.CompilerOptions()
+    )
+    assert program.verification is not None
+
+
+def test_internal_spellings_do_not_warn():
+    from repro.core.pipeline import GemmCompiler
+    from repro.runtime.executor import run_gemm
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        program = GemmCompiler(TOY_ARCH).compile(repro.GemmSpec())
+        c, report = run_gemm(
+            program, np.ones((32, 16)), np.ones((16, 32)), beta=0.0
+        )
+        CompileService(ServiceConfig(enabled=False))
+    assert np.allclose(c, np.ones((32, 16)) @ np.ones((16, 32)))

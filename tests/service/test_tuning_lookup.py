@@ -1,0 +1,95 @@
+"""Tuning-record steering inside the compilation service."""
+
+import pytest
+
+from repro.core import CompilerOptions, GemmSpec
+from repro.core.options import TileConfig
+from repro.service import CompileService, ServiceConfig
+from repro.sunway.arch import TOY_ARCH
+from repro.tune import TuneOptions, Tuner
+
+SHAPE = (128, 128, 64)
+
+
+@pytest.fixture()
+def tuned_dir(tmp_path):
+    """A cache dir holding one tuning record for SHAPE's class."""
+    service = CompileService(ServiceConfig(cache_dir=tmp_path / "cache"))
+    result = Tuner(TOY_ARCH, service=service).tune(
+        M=SHAPE[0], N=SHAPE[1], K=SHAPE[2],
+        tune_options=TuneOptions(seed=0, max_measurements=6),
+    )
+    return tmp_path / "cache", result.record
+
+
+def test_shape_hint_steers_to_the_record(tuned_dir):
+    cache_dir, record = tuned_dir
+    service = CompileService(ServiceConfig(cache_dir=cache_dir))
+    program = service.get_program(
+        GemmSpec(), TOY_ARCH, CompilerOptions(), shape_hint=SHAPE
+    )
+    assert program.plan.kernel_shape == record.candidate.tile.shape()
+    assert service.tuning_lookups == 1
+    assert service.tuning_hits == 1
+
+
+def test_no_hint_no_steering(tuned_dir):
+    cache_dir, _ = tuned_dir
+    service = CompileService(ServiceConfig(cache_dir=cache_dir))
+    program = service.get_program(GemmSpec(), TOY_ARCH, CompilerOptions())
+    assert program.plan.kernel_shape == TOY_ARCH.micro_kernel
+    assert service.tuning_lookups == 0
+
+
+def test_unmatched_shape_class_misses(tuned_dir):
+    cache_dir, _ = tuned_dir
+    service = CompileService(ServiceConfig(cache_dir=cache_dir))
+    program = service.get_program(
+        GemmSpec(), TOY_ARCH, CompilerOptions(), shape_hint=(2048, 2048, 2048)
+    )
+    assert program.plan.kernel_shape == TOY_ARCH.micro_kernel
+    assert service.tuning_lookups == 1
+    assert service.tuning_hits == 0
+
+
+def test_explicit_tile_config_wins_over_the_record(tuned_dir):
+    cache_dir, record = tuned_dir
+    service = CompileService(ServiceConfig(cache_dir=cache_dir))
+    pinned = TileConfig(4, 4, 4)
+    program = service.get_program(
+        GemmSpec(),
+        TOY_ARCH,
+        CompilerOptions(tile_config=pinned),
+        shape_hint=SHAPE,
+    )
+    assert program.plan.kernel_shape == pinned.shape()
+    assert service.tuning_lookups == 0
+
+
+def test_non_default_knobs_are_not_steered(tuned_dir):
+    cache_dir, _ = tuned_dir
+    service = CompileService(ServiceConfig(cache_dir=cache_dir))
+    program = service.get_program(
+        GemmSpec(),
+        TOY_ARCH,
+        CompilerOptions(enable_rma=False),
+        shape_hint=SHAPE,
+    )
+    assert program.plan.kernel_shape == TOY_ARCH.micro_kernel
+    assert service.tuning_lookups == 0
+
+
+def test_stats_report_tuning_section(tuned_dir):
+    cache_dir, _ = tuned_dir
+    service = CompileService(ServiceConfig(cache_dir=cache_dir))
+    service.get_program(GemmSpec(), TOY_ARCH, CompilerOptions(), shape_hint=SHAPE)
+    report = service.stats()
+    assert report["tuning"]["lookups"] == 1
+    assert report["tuning"]["hits"] == 1
+    assert report["tuning"]["records"] >= 1
+
+
+def test_memory_only_service_has_a_working_store():
+    service = CompileService(ServiceConfig(enabled=False))
+    assert service.tuning_store.root is None
+    assert service.tuning_store.keys() == []

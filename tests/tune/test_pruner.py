@@ -1,0 +1,102 @@
+"""Stage 1 of the search: the analytical pruner."""
+
+import pytest
+
+from repro.core import CompilerOptions, GemmSpec
+from repro.core.options import TileConfig
+from repro.sunway.arch import SW26010PRO, TOY_ARCH
+from repro.tune import (
+    Candidate,
+    analyze,
+    default_candidate,
+    enumerate_candidates,
+    predict_gflops,
+    prune,
+)
+
+
+@pytest.mark.parametrize(
+    "shape",
+    [(4096, 4096, 4096), (576, 1024, 512), (64, 64, 64), (192, 576, 384)],
+)
+def test_pruner_never_rejects_the_analytical_default(shape):
+    """The 64x64x32 point is provably feasible on SW26010Pro (§3.1); a
+    pruner that drops it would be rejecting the paper's own kernel."""
+    base = CompilerOptions.full()
+    candidates = enumerate_candidates(SW26010PRO, base)
+    survivors, _ = prune(
+        GemmSpec(), SW26010PRO, base, candidates, shape=shape
+    )
+    default = default_candidate(SW26010PRO, base)
+    assert default.name() in {s.candidate.name() for s in survivors}
+
+
+def test_default_candidate_is_feasible_on_both_arches():
+    for arch in (SW26010PRO, TOY_ARCH):
+        base = CompilerOptions.full()
+        result = analyze(
+            GemmSpec(), arch, base, default_candidate(arch, base)
+        )
+        assert result.feasible, result.reason
+        assert result.predicted_gflops > 0
+        assert result.spm_slack_bytes >= 0
+
+
+def test_oversized_tile_is_infeasible():
+    base = CompilerOptions.full()
+    huge = Candidate(TileConfig(256, 256, 256))
+    result = analyze(GemmSpec(), SW26010PRO, base, huge)
+    assert not result.feasible
+    assert result.reason
+
+
+def test_prune_keeps_a_sorted_feasible_fraction():
+    base = CompilerOptions.full()
+    candidates = enumerate_candidates(SW26010PRO, base)
+    survivors, rejected = prune(
+        GemmSpec(), SW26010PRO, base, candidates, shape=(576, 1024, 512)
+    )
+    assert survivors
+    assert len(survivors) < len(candidates)
+    predicted = [s.predicted_gflops for s in survivors]
+    assert predicted == sorted(predicted, reverse=True)
+    assert all(s.feasible for s in survivors)
+    assert len(survivors) + len(rejected) == len(candidates)
+
+
+def test_prediction_penalises_padding_waste():
+    """The useful-flops fraction is what makes small tiles win on ragged
+    shapes: the same plan predicts lower when the shape pads badly."""
+    base = CompilerOptions.full()
+    default = default_candidate(SW26010PRO, base)
+    aligned = analyze(
+        GemmSpec(), SW26010PRO, base, default, shape=(4096, 4096, 4096)
+    )
+    ragged = analyze(
+        GemmSpec(), SW26010PRO, base, default, shape=(192, 576, 384)
+    )
+    assert ragged.predicted_gflops < aligned.predicted_gflops
+
+
+def test_enumeration_is_deterministic_and_contains_default():
+    base = CompilerOptions.full()
+    first = [c.name() for c in enumerate_candidates(SW26010PRO, base)]
+    second = [c.name() for c in enumerate_candidates(SW26010PRO, base)]
+    assert first == second
+    assert default_candidate(SW26010PRO, base).name() in first
+
+
+def test_enumeration_respects_disabled_knobs():
+    no_rma = CompilerOptions.full().with_(enable_rma=False)
+    candidates = enumerate_candidates(SW26010PRO, no_rma)
+    assert candidates
+    assert all(":dma" in c.name() for c in candidates)
+    assert not any(c.enable_rma for c in candidates)
+
+
+def test_predict_gflops_never_exceeds_machine_peak():
+    base = CompilerOptions.full()
+    for candidate in enumerate_candidates(SW26010PRO, base):
+        result = analyze(GemmSpec(), SW26010PRO, base, candidate)
+        if result.feasible:
+            assert 0 < result.predicted_gflops <= SW26010PRO.peak_gflops

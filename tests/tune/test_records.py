@@ -1,0 +1,140 @@
+"""Shape-class bucketing, record keys, and the record store."""
+
+import pytest
+
+from repro.core import CompilerOptions, GemmSpec
+from repro.core.options import TileConfig
+from repro.sunway.arch import SW26010PRO, TOY_ARCH
+from repro.tune import (
+    Candidate,
+    TuningRecord,
+    TuningRecordStore,
+    record_key,
+    shape_bucket,
+    shape_class,
+    spec_class,
+)
+from repro.tune.space import SEARCH_SPACE_VERSION
+
+
+def _record(key="k", seed=0, gflops=100.0):
+    return TuningRecord(
+        key=key,
+        shape_class=(512, 1024, 512, 1),
+        arch_name=SW26010PRO.name,
+        space_version=SEARCH_SPACE_VERSION,
+        candidate=Candidate(TileConfig(32, 128, 32)),
+        best_gflops=gflops,
+        default_gflops=80.0,
+        measurements=7,
+        seed=seed,
+    )
+
+
+# -- bucketing ---------------------------------------------------------------
+
+
+def test_shape_bucket_snaps_to_nearest_power_of_two():
+    assert shape_bucket(1) == 1
+    assert shape_bucket(64) == 64
+    assert shape_bucket(96) == 128   # 2*96 >= 3*64 -> round up
+    assert shape_bucket(95) == 64
+    assert shape_bucket(576) == 512
+    assert shape_bucket(1500) == 1024  # 3000 < 3*1024: still "about 1024"
+    assert shape_bucket(1536) == 2048
+
+
+def test_shape_class_buckets_every_dimension():
+    assert shape_class(576, 1024, 512) == (512, 1024, 512, 1)
+    assert shape_class(32, 256, 256, batch=256) == (32, 256, 256, 256)
+
+
+def test_nearby_shapes_share_a_class():
+    assert shape_class(576, 1024, 512) == shape_class(600, 900, 480)
+    assert shape_class(576, 1024, 512) != shape_class(2048, 1024, 512)
+
+
+# -- keys --------------------------------------------------------------------
+
+
+def test_record_key_is_deterministic():
+    a = record_key(GemmSpec(), SW26010PRO, (512, 1024, 512, 1))
+    b = record_key(GemmSpec(), SW26010PRO, (512, 1024, 512, 1))
+    assert a == b
+
+
+def test_record_key_separates_arch_shape_and_spec_kind():
+    base = record_key(GemmSpec(), SW26010PRO, (512, 512, 512, 1))
+    assert record_key(GemmSpec(), TOY_ARCH, (512, 512, 512, 1)) != base
+    assert record_key(GemmSpec(), SW26010PRO, (512, 512, 512, 4)) != base
+    batched = GemmSpec(batch_param="BS")
+    assert record_key(batched, SW26010PRO, (512, 512, 512, 1)) != base
+
+
+def test_spec_class_ignores_parameter_naming():
+    assert spec_class(GemmSpec()) == spec_class(GemmSpec(m_param="MM"))
+    assert spec_class(GemmSpec()) != spec_class(GemmSpec(trans_a=True))
+
+
+# -- the store ---------------------------------------------------------------
+
+
+def test_memory_store_round_trip():
+    store = TuningRecordStore(None)
+    record = _record()
+    store.put(record)
+    assert store.get("k") == record
+    assert store.keys() == ["k"]
+    assert store.get("missing") is None
+
+
+def test_disk_store_round_trip(tmp_path):
+    store = TuningRecordStore(tmp_path / "tuning")
+    record = _record(key="abc123")
+    store.put(record)
+    # A fresh store over the same directory sees the record.
+    again = TuningRecordStore(tmp_path / "tuning")
+    assert again.get("abc123") == record
+    assert again.records() == [record]
+
+
+def test_clear_removes_records(tmp_path):
+    store = TuningRecordStore(tmp_path / "tuning")
+    store.put(_record(key="a"))
+    store.put(_record(key="b"))
+    assert store.clear() == 2
+    assert store.keys() == []
+
+
+def test_journal_round_trip(tmp_path):
+    store = TuningRecordStore(tmp_path / "tuning")
+    store.journal_save("k", {"64x64x32:rma+hide": 123.4})
+    assert store.journal_load("k") == {"64x64x32:rma+hide": 123.4}
+    store.journal_clear("k")
+    assert store.journal_load("k") == {}
+
+
+def test_journals_do_not_shadow_records(tmp_path):
+    store = TuningRecordStore(tmp_path / "tuning")
+    store.put(_record(key="a"))
+    store.journal_save("b", {"x": 1.0})
+    assert store.keys() == ["a"]
+
+
+def test_stats_counts_hits_and_writes():
+    store = TuningRecordStore(None)
+    store.put(_record(key="a"))
+    store.get("a")
+    store.get("nope")
+    stats = store.stats()
+    assert stats["records"] == 1
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["writes"] == 1
+
+
+def test_record_improvement_and_apply():
+    record = _record(gflops=100.0)
+    assert record.improvement == pytest.approx(0.25)
+    opts = record.apply(CompilerOptions.full())
+    assert opts.tile_config == TileConfig(32, 128, 32)
