@@ -30,7 +30,7 @@ migration hint — see :mod:`repro.compat`.
 """
 
 from repro import api
-from repro.api import GemmResult
+from repro.api import Client, GemmResult, connect
 from repro.compat import GemmCompiler, run_gemm
 from repro.core import CompilerOptions, GemmSpec
 from repro.core.options import TileConfig
@@ -54,6 +54,9 @@ __all__ = [
     # the stable facade
     "api",
     "GemmResult",
+    # serving daemon client
+    "Client",
+    "connect",
     # problem + options
     "GemmSpec",
     "CompilerOptions",

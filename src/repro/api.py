@@ -41,8 +41,10 @@ from repro.runtime.program import CompiledProgram
 from repro.sunway.arch import SW26010PRO, ArchSpec
 
 __all__ = [
+    "Client",
     "GemmResult",
     "compile",
+    "connect",
     "run",
     "tune",
     "verify",
@@ -222,3 +224,30 @@ def verify(program: CompiledProgram):
     from repro.verify import verify_program
 
     return verify_program(program)
+
+
+# ---------------------------------------------------------------------------
+# The serving client (``swgemm serve`` daemon)
+# ---------------------------------------------------------------------------
+
+from repro.serve.client import Client  # noqa: E402  (re-export)
+
+
+def connect(
+    address: Union[str, Tuple[str, int]],
+    tenant: str = "default",
+    timeout: Optional[float] = 30.0,
+) -> Client:
+    """Connect to a running ``swgemm serve`` daemon.
+
+    ``address`` is a unix-socket path or a ``(host, port)`` pair.  The
+    returned :class:`~repro.serve.client.Client` speaks the same verbs
+    as this module (``compile``/``run``/``tune``/``verify``) plus the
+    daemon-side ``ping``/``stats``/``warmup``/``shutdown``, with kernel
+    descriptors as plain dicts::
+
+        with api.connect(("127.0.0.1", 7070), tenant="ci") as client:
+            client.compile({"arch": "toy", "fusion": "epilogue",
+                            "epilogue_func": "sigmoid"})
+    """
+    return Client(address, tenant=tenant, timeout=timeout)

@@ -1,0 +1,584 @@
+"""Seeded load generator for the compilation daemon.
+
+Replays a deterministic multi-tenant request trace against a live
+``swgemm serve`` daemon and reports serving-path metrics: p50/p99
+latency, throughput, cache hit rate, per-tenant quota rejections, and
+the single-flight dedup proof the daemon's whole design rests on::
+
+    compiles executed  <  unique kernels requested  <=  requests sent
+
+The trace is a pure function of its seed (``random.Random``, no wall
+clock): identical seeds produce identical traces — the committed
+``BENCH_serve.json`` records the trace digest so a rerun can prove it
+replayed the same workload.  The measured latencies are of course not
+deterministic; the trace section is.
+
+Run it standalone against a self-hosted daemon::
+
+    python -m repro.bench.loadgen --requests 1200 --tenants 4 --seed 2022
+
+or against an already-running one with ``--host``/``--port`` or
+``--socket-path``.  ``--assert-p99-ms`` / ``--assert-hit-rate`` turn it
+into a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import random
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.client import Client
+from repro.serve.protocol import spec_and_options
+
+#: Kernel descriptors of the mixed window.  ``hot`` descriptors are
+#: prewarmed before the measured window (so the window serves them from
+#: cache — that is what makes the dedup inequality *strict*); ``cold``
+#: ones first appear inside the window and cost one compile each.
+HOT_KERNELS: Tuple[Dict[str, Any], ...] = (
+    {},
+    {"use_asm": False},
+    {"enable_rma": False},
+    {"fusion": "epilogue", "epilogue_func": "sigmoid"},
+    {"fusion": "prologue", "prologue_func": "quant"},
+    {"batch": True},
+)
+
+COLD_KERNELS: Tuple[Dict[str, Any], ...] = (
+    {"enable_latency_hiding": False},
+    {"trans_a": True},
+    {"trans_b": True},
+    {"trans_a": True, "trans_b": True},
+    # Same reconciled key as the default descriptor: --no-verify is
+    # normalised out of cache keys, so this "distinct" descriptor must
+    # NOT cost a compile — the key-collapse path in the proof.
+    {"verify": False},
+)
+
+#: Small problem sizes for ``run`` ops (the toy arch executes these in
+#: tens of milliseconds).
+RUN_SHAPES: Tuple[Tuple[int, int, int], ...] = (
+    (32, 32, 16),
+    (48, 32, 16),
+    (32, 48, 32),
+)
+
+_OPS = ("compile", "run", "verify", "stats", "ping")
+_OP_WEIGHTS = (58, 22, 10, 7, 3)
+_PRIORITIES = ("interactive", "batch")
+_PRIORITY_WEIGHTS = (70, 30)
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Shape of one seeded workload."""
+
+    seed: int = 2022
+    requests: int = 1200
+    tenants: Tuple[str, ...] = ("alpha", "beta", "gamma", "delta")
+    arch: str = "toy"
+    #: fraction of kernel-descriptor picks drawn from the hot pool
+    hot_fraction: float = 0.8
+    #: tune ops replayed *after* the measured window (their candidate
+    #: compiles must not pollute the dedup inequality)
+    tunes: int = 2
+    tune_budget: int = 2
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if not self.tenants:
+            raise ValueError("at least one tenant is required")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+
+
+def generate_trace(config: TraceConfig) -> List[Dict[str, Any]]:
+    """The mixed-window trace: a pure function of ``config``."""
+    rng = random.Random(config.seed)
+    trace: List[Dict[str, Any]] = []
+    for index in range(config.requests):
+        op = rng.choices(_OPS, weights=_OP_WEIGHTS)[0]
+        entry: Dict[str, Any] = {
+            "index": index,
+            "tenant": rng.choice(config.tenants),
+            "op": op,
+            "priority": rng.choices(_PRIORITIES, weights=_PRIORITY_WEIGHTS)[0],
+            "params": {},
+        }
+        if op in ("compile", "run", "verify"):
+            pool = (
+                HOT_KERNELS
+                if rng.random() < config.hot_fraction
+                else COLD_KERNELS
+            )
+            params: Dict[str, Any] = {"arch": config.arch, **rng.choice(pool)}
+            if op == "run":
+                M, N, K = rng.choice(RUN_SHAPES)
+                params.update(M=M, N=N, K=K, seed=rng.randrange(1 << 16))
+            entry["params"] = params
+        trace.append(entry)
+    return trace
+
+
+def tune_trace(config: TraceConfig) -> List[Dict[str, Any]]:
+    """The post-window tune ops (deterministic like the main trace)."""
+    rng = random.Random(config.seed + 1)
+    shapes = ((576, 1024, 512), (192, 576, 384), (1280, 768, 512))
+    return [
+        {
+            "tenant": config.tenants[i % len(config.tenants)],
+            "op": "tune",
+            "priority": "batch",
+            "params": {
+                "arch": config.arch,
+                "M": shape[0],
+                "N": shape[1],
+                "K": shape[2],
+                "seed": rng.randrange(1 << 16),
+                "budget": config.tune_budget,
+            },
+        }
+        for i, shape in enumerate(shapes[: config.tunes])
+    ]
+
+
+def trace_digest(trace: Sequence[Dict[str, Any]]) -> str:
+    """SHA-256 over the canonical trace JSON (the reproducibility proof)."""
+    blob = json.dumps(list(trace), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def unique_kernel_keys(trace: Sequence[Dict[str, Any]]) -> List[str]:
+    """Reconciled cache keys the trace's kernel ops will be served under.
+
+    Runs the same wire codec and option reconciliation the daemon runs,
+    so descriptors that normalise identically (``verify: false``) count
+    as one kernel — exactly what the dedup inequality compares against.
+    """
+    from repro.core.passes import reconcile_options
+    from repro.service import cache_key
+
+    keys = set()
+    for entry in trace:
+        if entry["op"] not in ("compile", "run", "verify"):
+            continue
+        spec, options, arch = spec_and_options(entry["params"])
+        keys.add(cache_key(spec, arch, reconcile_options(spec, options, arch)))
+    return sorted(keys)
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplayResult:
+    """Everything one replay of a trace produced."""
+
+    outcomes: List[Dict[str, Any]] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> List[Dict[str, Any]]:
+        return [o for o in self.outcomes if o["ok"]]
+
+    def latencies_ms(self) -> List[float]:
+        return sorted(o["latency_ms"] for o in self.outcomes)
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over pre-sorted values (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(-(-q * len(sorted_values) // 1)))  # ceil without math
+    return float(sorted_values[min(rank, len(sorted_values)) - 1])
+
+
+def replay(
+    address, trace: Sequence[Dict[str, Any]], timeout: float = 120.0
+) -> ReplayResult:
+    """Replay a trace with one client thread per tenant.
+
+    Each tenant's requests keep their trace order (a tenant is one
+    synchronous caller); tenants run concurrently — which is what makes
+    concurrent same-key requests actually collide on the daemon's
+    single-flight path."""
+    by_tenant: Dict[str, List[Dict[str, Any]]] = {}
+    for entry in trace:
+        by_tenant.setdefault(entry["tenant"], []).append(entry)
+    result = ReplayResult()
+    lock = threading.Lock()
+
+    def worker(tenant: str, entries: List[Dict[str, Any]]) -> None:
+        outcomes: List[Dict[str, Any]] = []
+        with Client(address, tenant=tenant, timeout=timeout) as client:
+            for entry in entries:
+                started = time.perf_counter()
+                response = client.request_response(
+                    entry["op"], entry["params"], priority=entry["priority"]
+                )
+                latency_ms = 1e3 * (time.perf_counter() - started)
+                outcome = {
+                    "tenant": tenant,
+                    "op": entry["op"],
+                    "priority": entry["priority"],
+                    "ok": response.ok,
+                    "latency_ms": latency_ms,
+                    "source": (response.meta or {}).get("source"),
+                    "error": (response.error or {}).get("type"),
+                }
+                outcomes.append(outcome)
+        with lock:
+            result.outcomes.extend(outcomes)
+
+    threads = [
+        threading.Thread(target=worker, args=item, daemon=True)
+        for item in by_tenant.items()
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The benchmark
+# ---------------------------------------------------------------------------
+
+
+def run_serve_bench(
+    config: Optional[TraceConfig] = None,
+    address=None,
+    workers: int = 4,
+    quota_capacity: Optional[float] = 60.0,
+    quota_refill: float = 30.0,
+) -> Dict[str, Any]:
+    """The full benchmark: warmup → snapshot → mixed window → snapshot
+    → tune phase → quota burst probe, against ``address`` or a
+    self-hosted in-process daemon.
+
+    Returns the ``BENCH_serve.json`` payload.  The default quota sizing
+    is the daemon's own default (60 tokens @ 30/s per tenant): generous
+    enough that the paced mixed window is admitted in full, tight enough
+    that the burst probe — one tenant firing cached compiles as fast as
+    the socket allows — provably hits rejections.  Pass
+    ``quota_capacity=None`` to disable quotas."""
+    config = config or TraceConfig()
+    handle = None
+    if address is None:
+        from repro.serve import QuotaConfig, ServeConfig, start_in_thread
+        from repro.service import CompileService, ServiceConfig
+
+        quota = (
+            QuotaConfig(capacity=quota_capacity, refill_per_s=quota_refill)
+            if quota_capacity is not None
+            else None
+        )
+        service = CompileService(ServiceConfig(admission_threshold=2))
+        handle = start_in_thread(
+            service, ServeConfig(workers=workers, quota=quota)
+        )
+        address = handle.address
+    try:
+        return _run_phases(config, address)
+    finally:
+        if handle is not None:
+            try:
+                Client(address, tenant="loadgen-admin").shutdown()
+            except Exception:
+                pass
+            handle.stop()
+
+
+def _service_snapshot(client: Client) -> Dict[str, Any]:
+    stats = client.stats()
+    service = stats.get("service") or {}
+    compiles = service.get("compiles") or {}
+    return {
+        "compiles": int(compiles.get("count", 0)),
+        "deduped": int(service.get("single_flight_deduped", 0)),
+        "requests": int(service.get("requests", 0)),
+        "server": stats.get("server") or {},
+    }
+
+
+def _run_phases(config: TraceConfig, address) -> Dict[str, Any]:
+    trace = generate_trace(config)
+    digest = trace_digest(trace)
+    unique_keys = unique_kernel_keys(trace)
+    hot_keys = unique_kernel_keys(
+        [
+            {"op": "compile", "params": {"arch": config.arch, **kernel}}
+            for kernel in HOT_KERNELS
+        ]
+    )
+
+    admin = Client(address, tenant="loadgen-admin", timeout=300.0)
+    with admin:
+        # Phase 1 — prewarm the hot pool (and the daemon's standard set)
+        # so the measured window serves them from cache.
+        for kernel in HOT_KERNELS:
+            admin.compile({"arch": config.arch, **kernel})
+        before = _service_snapshot(admin)
+
+        # Phase 2 — the measured mixed window.
+        result = replay(address, trace)
+        after = _service_snapshot(admin)
+
+        # Phase 3 — tune ops, after the dedup snapshot on purpose: each
+        # tune compiles candidate configs, which would otherwise drown
+        # the inequality.
+        tune_outcomes = []
+        for entry in tune_trace(config):
+            started = time.perf_counter()
+            response = admin.request_response(
+                entry["op"], entry["params"], priority=entry["priority"]
+            )
+            tune_outcomes.append(
+                {
+                    "ok": response.ok,
+                    "latency_ms": 1e3 * (time.perf_counter() - started),
+                    "shape": "{M}x{N}x{K}".format(**entry["params"]),
+                    "error": (response.error or {}).get("type"),
+                }
+            )
+
+    # Phase 4 — quota burst probe: one tenant fires cached compiles as
+    # fast as the socket allows.  Under the default token bucket the
+    # burst outruns the refill, so rejections here prove per-tenant
+    # quotas are enforced without touching the measured window.
+    burst_requests = 120
+    burst_rejected = 0
+    with Client(address, tenant="burst", timeout=300.0) as burst:
+        for _ in range(burst_requests):
+            response = burst.request_response(
+                "compile", {"arch": config.arch}
+            )
+            if (
+                not response.ok
+                and (response.error or {}).get("type") == "QuotaExceededError"
+            ):
+                burst_rejected += 1
+
+    compiles_window = after["compiles"] - before["compiles"]
+    kernel_ops = [
+        o for o in result.outcomes if o["op"] in ("compile", "run", "verify")
+    ]
+    kernel_ok = [o for o in kernel_ops if o["ok"]]
+    sources: Dict[str, int] = {}
+    for outcome in kernel_ok:
+        source = outcome["source"] or "unknown"
+        sources[source] = sources.get(source, 0) + 1
+    hits = sum(
+        count
+        for source, count in sources.items()
+        if source in ("memory", "disk", "deduped")
+    )
+    hit_rate = hits / len(kernel_ok) if kernel_ok else 0.0
+
+    latencies = result.latencies_ms()
+    by_op: Dict[str, Dict[str, float]] = {}
+    for op in sorted({o["op"] for o in result.outcomes}):
+        op_lat = sorted(
+            o["latency_ms"] for o in result.outcomes if o["op"] == op
+        )
+        by_op[op] = {
+            "count": len(op_lat),
+            "p50_ms": round(percentile(op_lat, 0.50), 3),
+            "p99_ms": round(percentile(op_lat, 0.99), 3),
+        }
+    quota_by_tenant: Dict[str, int] = {}
+    for outcome in result.outcomes:
+        if outcome["error"] == "QuotaExceededError":
+            quota_by_tenant[outcome["tenant"]] = (
+                quota_by_tenant.get(outcome["tenant"], 0) + 1
+            )
+    quota_rejected = sum(quota_by_tenant.values())
+    errors = sum(
+        1
+        for o in result.outcomes
+        if not o["ok"] and o["error"] != "QuotaExceededError"
+    )
+
+    return {
+        "figure": "serve",
+        "trace": {
+            "seed": config.seed,
+            "requests": config.requests,
+            "tenants": list(config.tenants),
+            "arch": config.arch,
+            "digest": digest,
+            "unique_kernel_keys": len(unique_keys),
+            "hot_kernel_keys": len(hot_keys),
+            "ops": {
+                op: sum(1 for e in trace if e["op"] == op)
+                for op in sorted({e["op"] for e in trace})
+            },
+            "priorities": {
+                p: sum(1 for e in trace if e["priority"] == p)
+                for p in _PRIORITIES
+            },
+        },
+        "dedup": {
+            "requests_window": len(trace),
+            "unique_keys_window": len(unique_keys),
+            "compiles_executed_window": compiles_window,
+            "single_flight_deduped_total": after["deduped"],
+            "proof_strict": compiles_window < len(unique_keys) <= len(trace),
+        },
+        "latency_ms": {
+            "count": len(latencies),
+            "p50": round(percentile(latencies, 0.50), 3),
+            "p90": round(percentile(latencies, 0.90), 3),
+            "p99": round(percentile(latencies, 0.99), 3),
+            "max": round(latencies[-1], 3) if latencies else 0.0,
+            "by_op": by_op,
+        },
+        "throughput_rps": round(
+            len(result.outcomes) / result.wall_seconds, 1
+        )
+        if result.wall_seconds
+        else 0.0,
+        "wall_seconds": round(result.wall_seconds, 3),
+        "cache": {"hit_rate": round(hit_rate, 4), "sources": sources},
+        "quota": {
+            "rejected_window": quota_rejected,
+            "by_tenant": quota_by_tenant,
+            "burst_requests": burst_requests,
+            "burst_rejected": burst_rejected,
+            "enforced": burst_rejected > 0,
+        },
+        "errors": errors,
+        "tune": tune_outcomes,
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.loadgen",
+        description="Replay a seeded multi-tenant trace against the "
+        "compilation daemon and report serving metrics.",
+    )
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--requests", type=int, default=1200)
+    parser.add_argument(
+        "--tenants", type=int, default=4,
+        help="number of concurrent tenants (default: 4)",
+    )
+    parser.add_argument("--arch", default="toy",
+                        choices=("toy", "sw26010", "sw26010pro"))
+    parser.add_argument("--tunes", type=int, default=2)
+    parser.add_argument(
+        "--host", default=None,
+        help="replay against a running daemon instead of self-hosting",
+    )
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--socket-path", default=None, metavar="PATH")
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads of the self-hosted daemon (default: 4)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_serve.json", metavar="FILE",
+        help="payload destination at the repo root ('-' prints only)",
+    )
+    parser.add_argument(
+        "--assert-p99-ms", type=float, default=None, metavar="MS",
+        help="fail (exit 1) if overall p99 latency exceeds MS",
+    )
+    parser.add_argument(
+        "--assert-hit-rate", type=float, default=None, metavar="FRACTION",
+        help="fail (exit 1) if the cache hit rate is below FRACTION",
+    )
+    args = parser.parse_args(argv)
+
+    tenant_names = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+                    "eta", "theta")
+    config = TraceConfig(
+        seed=args.seed,
+        requests=args.requests,
+        tenants=tenant_names[: max(1, min(args.tenants, len(tenant_names)))],
+        arch=args.arch,
+        tunes=args.tunes,
+    )
+    address = None
+    if args.socket_path:
+        address = args.socket_path
+    elif args.host or args.port:
+        address = (args.host or "127.0.0.1", args.port or 7070)
+    payload = run_serve_bench(config, address=address, workers=args.workers)
+
+    lat = payload["latency_ms"]
+    print(
+        f"replayed {payload['trace']['requests']} requests from "
+        f"{len(payload['trace']['tenants'])} tenant(s) in "
+        f"{payload['wall_seconds']}s ({payload['throughput_rps']} req/s)"
+    )
+    print(
+        f"latency p50 {lat['p50']} ms, p90 {lat['p90']} ms, "
+        f"p99 {lat['p99']} ms, max {lat['max']} ms"
+    )
+    dedup = payload["dedup"]
+    print(
+        f"dedup proof: {dedup['compiles_executed_window']} compiles < "
+        f"{dedup['unique_keys_window']} unique kernels <= "
+        f"{dedup['requests_window']} requests "
+        f"({'OK' if dedup['proof_strict'] else 'VIOLATED'})"
+    )
+    print(
+        f"cache hit rate {payload['cache']['hit_rate']:.1%} "
+        f"{payload['cache']['sources']}; "
+        f"quota window/burst rejected "
+        f"{payload['quota']['rejected_window']}/"
+        f"{payload['quota']['burst_rejected']}; "
+        f"errors {payload['errors']}"
+    )
+    print(f"trace digest {payload['trace']['digest'][:16]} (seed {args.seed})")
+
+    if args.output != "-":
+        from repro.bench.harness import write_bench_file
+
+        path = write_bench_file(args.output, payload)
+        print(f"wrote {path}")
+
+    failed = False
+    if not dedup["proof_strict"]:
+        print("FAIL: single-flight dedup inequality violated", file=sys.stderr)
+        failed = True
+    if args.assert_p99_ms is not None and lat["p99"] > args.assert_p99_ms:
+        print(
+            f"FAIL: p99 {lat['p99']} ms exceeds {args.assert_p99_ms} ms",
+            file=sys.stderr,
+        )
+        failed = True
+    if (
+        args.assert_hit_rate is not None
+        and payload["cache"]["hit_rate"] < args.assert_hit_rate
+    ):
+        print(
+            f"FAIL: hit rate {payload['cache']['hit_rate']:.3f} below "
+            f"{args.assert_hit_rate}",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -194,6 +194,8 @@ def _validate_cache_dir(args) -> None:
         raise ConfigurationError(f"cache path {path} is not a directory")
     if not os.access(path, os.R_OK | os.X_OK):
         raise ConfigurationError(f"cache directory {path} is not readable")
+    if not os.access(path, os.W_OK):
+        raise ConfigurationError(f"cache directory {path} is not writable")
 
 
 def _spec_and_options(args):
@@ -491,6 +493,14 @@ def cmd_cache_stats(args) -> int:
     persistent = report.get("persistent", {})
     print(f"cache dir : {disk['dir']}")
     print(f"artifacts : {disk['artifacts']} ({disk['bytes'] / 1024:.1f} KiB)")
+    migrated = f", {disk['migrated']} migrated from flat layout" if disk.get("migrated") else ""
+    print(f"shards    : {disk['shards']} (hash-prefix sharded{migrated})")
+    per_shard = disk.get("per_shard") or {}
+    if per_shard:
+        print(
+            "per shard : "
+            + "  ".join(f"{shard}:{count}" for shard, count in per_shard.items())
+        )
     print("cumulative (all runs against this cache dir):")
     for label, key in (
         ("requests", "requests"),
@@ -550,6 +560,104 @@ def cmd_cache_warmup(args) -> int:
         f"warmed {len(rows)} kernel(s) in {elapsed * 1e3:.1f} ms "
         f"({compiled} compiled, {len(rows) - compiled} already cached)"
     )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# The serving daemon
+# ---------------------------------------------------------------------------
+
+
+def cmd_serve(args) -> int:
+    """Run the multi-tenant compilation daemon until drained."""
+    import asyncio
+    import signal
+
+    from repro.serve import KernelServer, QuotaConfig, ServeConfig
+    from repro.service import CompileService, ServiceConfig, default_cache_dir
+
+    _validate_cache_dir(args)
+    if getattr(args, "no_cache", False):
+        service_config = ServiceConfig(enabled=False, workers=args.workers)
+    else:
+        cache_dir = (
+            Path(args.cache_dir)
+            if getattr(args, "cache_dir", None)
+            else default_cache_dir()
+        )
+        service_config = ServiceConfig(
+            cache_dir=cache_dir,
+            workers=args.workers,
+            memory_capacity=args.memory_capacity,
+            admission_threshold=args.admission_threshold,
+        )
+    service = CompileService(service_config)
+    quota = (
+        None
+        if args.no_quotas
+        else QuotaConfig(
+            capacity=args.quota_capacity, refill_per_s=args.quota_refill
+        )
+    )
+    server = KernelServer(
+        service,
+        ServeConfig(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            quota=quota,
+            max_requests=args.max_requests,
+        ),
+    )
+
+    async def _serve() -> None:
+        address = await server.start()
+        shown = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
+        quotas = (
+            "off" if quota is None
+            else f"{quota.capacity:g} tokens @ {quota.refill_per_s:g}/s per tenant"
+        )
+        print(
+            f"swgemm serve: listening on {shown} "
+            f"(workers={args.workers}, quotas={quotas})"
+        )
+        sys.stdout.flush()
+        if args.ready_file:
+            # Machine-readable rendezvous for scripts that let the OS
+            # pick the port: written only once the listener is live.
+            Path(args.ready_file).write_text(
+                json.dumps(
+                    {
+                        "socket": address if isinstance(address, str) else None,
+                        "host": None if isinstance(address, str) else address[0],
+                        "port": None if isinstance(address, str) else address[1],
+                        "pid": os.getpid(),
+                    }
+                )
+            )
+        loop = asyncio.get_running_loop()
+        if args.warmup:
+            loop.run_in_executor(None, service.warmup)
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: loop.create_task(server.stop(drain=True)),
+                )
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread / platforms without signal support
+        await server.serve_until_stopped()
+
+    asyncio.run(_serve())
+    counters = server.counters
+    print(
+        f"swgemm serve: drained and stopped after {counters['requests']} "
+        f"request(s) ({counters['quota_rejected']} quota-rejected, "
+        f"{counters['errors']} failed)"
+    )
+    if args.socket:
+        Path(args.socket).unlink(missing_ok=True)
     return 0
 
 
@@ -697,6 +805,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--json", action="store_true",
                         help="machine-readable result")
     p_tune.set_defaults(func=cmd_tune)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant async compilation daemon",
+        parents=[shared],
+    )
+    p_serve.add_argument(
+        "--socket", metavar="PATH",
+        help="listen on a unix socket instead of TCP",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="TCP bind address (default: 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 lets the OS pick one (default: 0)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4,
+        help="blocking compiler worker threads (default: 4)",
+    )
+    p_serve.add_argument(
+        "--quota-capacity", type=float, default=60.0, metavar="TOKENS",
+        help="per-tenant token-bucket capacity (default: 60)",
+    )
+    p_serve.add_argument(
+        "--quota-refill", type=float, default=30.0, metavar="TOKENS/S",
+        help="per-tenant token refill rate (default: 30/s)",
+    )
+    p_serve.add_argument(
+        "--no-quotas", action="store_true",
+        help="disable per-tenant quotas entirely",
+    )
+    p_serve.add_argument(
+        "--memory-capacity", type=int, default=64, metavar="N",
+        help="hot-tier LRU capacity in kernels (default: 64)",
+    )
+    p_serve.add_argument(
+        "--admission-threshold", type=int, default=2, metavar="N",
+        help="accesses before a key is admitted to a full hot tier "
+        "(default: 2; 1 = always admit)",
+    )
+    p_serve.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="drain and exit after N requests (default: run until signalled)",
+    )
+    p_serve.add_argument(
+        "--ready-file", metavar="PATH",
+        help="write the bound address as JSON once listening",
+    )
+    p_serve.add_argument(
+        "--warmup", action="store_true",
+        help="precompile the standard kernels on boot (at warmup priority)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_cache = sub.add_parser(
         "cache", help="inspect and manage the kernel compilation cache"

@@ -173,3 +173,27 @@ class CertificateDivergenceError(HardwareError):
 
 class ConfigurationError(SwGemmError):
     """Raised for invalid compiler options or architecture specifications."""
+
+
+# ---------------------------------------------------------------------------
+# Compilation server (repro.serve)
+# ---------------------------------------------------------------------------
+
+
+class ServeError(SwGemmError):
+    """Base class for the multi-tenant compilation daemon."""
+
+
+class ProtocolError(ServeError):
+    """Raised for malformed, oversized or semantically invalid frames of
+    the newline-delimited-JSON serving protocol."""
+
+
+class QuotaExceededError(ServeError):
+    """Raised (client side) / reported (server side) when a tenant's
+    token bucket cannot cover a request's cost."""
+
+
+class ServerDrainingError(ServeError):
+    """Raised when a request arrives while the daemon is gracefully
+    draining: queued work still completes, but no new work is accepted."""

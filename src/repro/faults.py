@@ -158,6 +158,24 @@ class FaultPolicy:
 
         return replace(self, **overrides)
 
+    # -- wire format (the serving protocol ships policies per request) ------
+
+    def to_dict(self) -> Dict[str, object]:
+        from dataclasses import asdict
+
+        data = asdict(self)
+        data["dead_ranks"] = list(self.dead_ranks)
+        data["straggler_ranks"] = list(self.straggler_ranks)
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "FaultPolicy":
+        kwargs = dict(data)
+        for name in ("dead_ranks", "straggler_ranks"):
+            if name in kwargs:
+                kwargs[name] = tuple(kwargs[name])
+        return FaultPolicy(**kwargs)
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -196,6 +214,15 @@ class RetryPolicy:
         from dataclasses import replace
 
         return replace(self, **overrides)
+
+    def to_dict(self) -> Dict[str, object]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "RetryPolicy":
+        return RetryPolicy(**data)
 
 
 class FaultInjector:

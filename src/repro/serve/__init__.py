@@ -1,0 +1,60 @@
+"""Multi-tenant asynchronous compilation serving.
+
+The subsystem that turns the in-process
+:class:`~repro.service.service.CompileService` into a daemon
+(``swgemm serve``): an asyncio NDJSON front-end, a priority-class fair
+queue with per-tenant round-robin, token-bucket quotas, a bounded
+blocking worker pool, and a blocking client.  Layers:
+
+* :mod:`repro.serve.protocol` — the wire format (frames, requests,
+  responses, spec/option coercion);
+* :mod:`repro.serve.queue` / :mod:`repro.serve.workers` — the fair
+  priority queue and the worker pool draining it;
+* :mod:`repro.serve.quotas` — per-tenant token buckets;
+* :mod:`repro.serve.server` — :class:`KernelServer`, the daemon;
+* :mod:`repro.serve.client` — :class:`Client`, the blocking caller
+  (re-exported as ``repro.api.Client`` / ``repro.api.connect``).
+"""
+
+from repro.serve.client import Client, RemoteError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    Request,
+    Response,
+    decode_frame,
+    encode_frame,
+)
+from repro.serve.queue import DEFAULT_PRIORITY, PRIORITIES, FairPriorityQueue
+from repro.serve.quotas import DEFAULT_COSTS, QuotaConfig, QuotaManager
+from repro.serve.server import (
+    KernelServer,
+    ServeConfig,
+    ServerHandle,
+    start_in_thread,
+)
+from repro.serve.workers import WorkerPool
+
+__all__ = [
+    "Client",
+    "DEFAULT_COSTS",
+    "DEFAULT_PRIORITY",
+    "FairPriorityQueue",
+    "KernelServer",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "PRIORITIES",
+    "PROTOCOL_VERSION",
+    "QuotaConfig",
+    "QuotaManager",
+    "RemoteError",
+    "Request",
+    "Response",
+    "ServeConfig",
+    "ServerHandle",
+    "WorkerPool",
+    "decode_frame",
+    "encode_frame",
+    "start_in_thread",
+]

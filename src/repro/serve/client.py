@@ -1,0 +1,219 @@
+"""Blocking client for the compilation daemon.
+
+A thin, dependency-free socket client speaking the NDJSON protocol:
+one request out, one response in, errors surfaced as the structured
+exception types the server reported (``QuotaExceededError`` when a
+token bucket runs dry, ``ServerDrainingError`` during shutdown,
+``ProtocolError`` for malformed traffic, ``ServeError`` otherwise).
+``repro.api.connect`` wraps this in the facade.
+
+The client is deliberately synchronous — tenants of the daemon are
+benchmark drivers, CI scripts and notebook users, and a blocking call
+per request keeps their code trivial; concurrency comes from running
+many clients (threads/processes), which is exactly what the load
+generator does.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import uuid
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.errors import (
+    ProtocolError,
+    QuotaExceededError,
+    ServeError,
+    ServerDrainingError,
+)
+from repro.serve.protocol import (
+    DEFAULT_PRIORITY,
+    MAX_FRAME_BYTES,
+    Request,
+    Response,
+)
+
+Address = Union[str, Tuple[str, int]]
+
+#: Server-reported error type → local exception class.  Anything the
+#: table does not name comes back as a plain :class:`ServeError`
+#: carrying the server-side type name.
+_ERROR_TYPES = {
+    "QuotaExceededError": QuotaExceededError,
+    "ServerDrainingError": ServerDrainingError,
+    "ProtocolError": ProtocolError,
+}
+
+
+class RemoteError(ServeError):
+    """A server-side failure of any type the client has no class for.
+
+    ``remote_type`` preserves the server's exception type name so
+    callers can still dispatch on it."""
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+
+
+def raise_for_error(error: Dict[str, Any]) -> None:
+    """Re-raise a response's structured error as a local exception."""
+    remote_type = str(error.get("type", "ServeError"))
+    message = str(error.get("message", "server reported an error"))
+    cls = _ERROR_TYPES.get(remote_type)
+    if cls is not None:
+        raise cls(message)
+    raise RemoteError(remote_type, message)
+
+
+class Client:
+    """One connection to a running ``swgemm serve`` daemon.
+
+    Thread-safe: a lock serialises request/response pairs, so one
+    client can be shared across threads (each request still blocks its
+    caller).  Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        tenant: str = "default",
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        self.address = address
+        self.tenant = tenant
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self.requests_sent = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        if isinstance(self.address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            target: Any = self.address
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            target = tuple(self.address)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(target)
+        except OSError as exc:
+            sock.close()
+            raise ServeError(
+                f"cannot connect to compilation daemon at {self.address!r}: {exc}"
+            ) from exc
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    # -- transport -----------------------------------------------------------
+
+    def request(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        priority: str = DEFAULT_PRIORITY,
+    ) -> Dict[str, Any]:
+        """Send one request; return the result dict or raise its error."""
+        response = self.request_response(op, params, priority=priority)
+        if not response.ok:
+            raise_for_error(response.error or {})
+        return response.result if isinstance(response.result, dict) else {}
+
+    def request_response(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        priority: str = DEFAULT_PRIORITY,
+    ) -> Response:
+        """Like :meth:`request` but hands back the raw :class:`Response`
+        (the load generator wants meta and errors without exceptions)."""
+        request = Request(
+            id=uuid.uuid4().hex[:12],
+            op=op,
+            tenant=self.tenant,
+            priority=priority,
+            params=dict(params or {}),
+        )
+        with self._lock:
+            if self._sock is None or self._rfile is None:
+                raise ServeError("client is closed")
+            try:
+                self._sock.sendall(request.encode())
+                line = self._rfile.readline(MAX_FRAME_BYTES + 1)
+            except OSError as exc:
+                self.close()
+                raise ServeError(f"connection to daemon lost: {exc}") from exc
+            self.requests_sent += 1
+        if not line:
+            self.close()
+            raise ServeError(
+                "daemon closed the connection without responding"
+            )
+        response = Response.decode(line)
+        if response.id not in (request.id, None):
+            raise ProtocolError(
+                f"response id {response.id!r} does not match request "
+                f"{request.id!r}"
+            )
+        return response
+
+    # -- verbs ---------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def compile(
+        self, params: Optional[Dict[str, Any]] = None,
+        priority: str = DEFAULT_PRIORITY, **kw: Any,
+    ) -> Dict[str, Any]:
+        return self.request("compile", {**(params or {}), **kw}, priority)
+
+    def run(
+        self, params: Optional[Dict[str, Any]] = None,
+        priority: str = DEFAULT_PRIORITY, **kw: Any,
+    ) -> Dict[str, Any]:
+        return self.request("run", {**(params or {}), **kw}, priority)
+
+    def tune(
+        self, params: Optional[Dict[str, Any]] = None,
+        priority: str = "batch", **kw: Any,
+    ) -> Dict[str, Any]:
+        return self.request("tune", {**(params or {}), **kw}, priority)
+
+    def verify(
+        self, params: Optional[Dict[str, Any]] = None,
+        priority: str = DEFAULT_PRIORITY, **kw: Any,
+    ) -> Dict[str, Any]:
+        return self.request("verify", {**(params or {}), **kw}, priority)
+
+    def warmup(self) -> Dict[str, Any]:
+        return self.request("warmup", priority="warmup")
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        return self.request("shutdown", {"drain": drain})
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            rfile, sock = self._rfile, self._sock
+            self._rfile = None
+            self._sock = None
+        for closable in (rfile, sock):
+            if closable is not None:
+                try:
+                    closable.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

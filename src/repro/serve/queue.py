@@ -1,0 +1,162 @@
+"""Priority-class request queue with per-tenant fair scheduling.
+
+The daemon classifies every request into one of three priority classes —
+``interactive`` ahead of ``batch`` ahead of ``warmup`` — and serves the
+classes strictly in that order, so a flood of precompilation traffic can
+never delay a user-facing compile (the head-of-line blocking swTVM-style
+deep-learning streams are famous for).  *Within* a class the queue is
+fair across tenants: each tenant owns a FIFO sub-queue and the class
+round-robins over the tenants that currently have work, so one tenant
+submitting a thousand requests interleaves 1:1 with a tenant submitting
+ten instead of starving it.
+
+The queue is a plain thread-safe structure (condition variable, no
+asyncio) because it sits between the asyncio protocol front-end and the
+blocking compiler worker threads; both sides touch it from their own
+execution domain.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: The priority classes, highest priority first.  Order is the scheduling
+#: policy: a class is only served when every class before it is empty.
+PRIORITIES: Tuple[str, ...] = ("interactive", "batch", "warmup")
+
+#: Default class for requests that do not state one.
+DEFAULT_PRIORITY = "interactive"
+
+
+def check_priority(priority: str) -> str:
+    if priority not in PRIORITIES:
+        raise ConfigurationError(
+            f"unknown priority class {priority!r}; expected one of {PRIORITIES}"
+        )
+    return priority
+
+
+class FairPriorityQueue:
+    """Strict-priority, tenant-fair FIFO queue.
+
+    ``put`` never blocks; ``get`` blocks until an item is available, the
+    optional timeout expires (returns ``None``) or the queue is closed
+    *and* drained (returns ``None``).  Closing wakes every waiter: items
+    already queued are still handed out — that is the graceful-drain
+    contract — but further ``put`` calls are refused.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        #: per class: tenant → FIFO of items
+        self._queues: Dict[str, "OrderedDict[str, Deque[object]]"] = {
+            p: OrderedDict() for p in PRIORITIES
+        }
+        #: per class: round-robin order over tenants that have work
+        self._order: Dict[str, Deque[str]] = {p: deque() for p in PRIORITIES}
+        self._size = 0
+        self._closed = False
+        self.enqueued: Dict[str, int] = {p: 0 for p in PRIORITIES}
+        self.dequeued: Dict[str, int] = {p: 0 for p in PRIORITIES}
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        with self._cond:
+            return self._size
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def put(
+        self,
+        item: object,
+        priority: str = DEFAULT_PRIORITY,
+        tenant: str = "default",
+    ) -> None:
+        check_priority(priority)
+        with self._cond:
+            if self._closed:
+                raise ConfigurationError(
+                    "cannot enqueue on a closed FairPriorityQueue"
+                )
+            tenants = self._queues[priority]
+            fifo = tenants.get(tenant)
+            if fifo is None:
+                fifo = tenants[tenant] = deque()
+            if not fifo:
+                # Tenant (re)joins the round-robin rotation at the back,
+                # behind tenants already waiting their turn.
+                self._order[priority].append(tenant)
+            fifo.append(item)
+            self._size += 1
+            self.enqueued[priority] += 1
+            self.high_water = max(self.high_water, self._size)
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[object]:
+        with self._cond:
+            while True:
+                item = self._pop_locked()
+                if item is not None:
+                    return item
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    def _pop_locked(self) -> Optional[object]:
+        for priority in PRIORITIES:
+            order = self._order[priority]
+            if not order:
+                continue
+            tenant = order[0]
+            fifo = self._queues[priority][tenant]
+            item = fifo.popleft()
+            if fifo:
+                # Fairness: the tenant goes to the back of the rotation
+                # after being served once.
+                order.rotate(-1)
+            else:
+                order.popleft()
+                del self._queues[priority][tenant]
+            self._size -= 1
+            self.dequeued[priority] += 1
+            return item
+        return None
+
+    def close(self) -> None:
+        """Refuse further puts; wake every blocked ``get``.
+
+        Items already queued are still served — callers drain until
+        ``get`` returns ``None``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def depths(self) -> Dict[str, int]:
+        """Currently queued items per priority class."""
+        with self._cond:
+            return {
+                p: sum(len(q) for q in self._queues[p].values())
+                for p in PRIORITIES
+            }
+
+    def stats(self) -> Dict[str, object]:
+        with self._cond:
+            return {
+                "size": self._size,
+                "high_water": self.high_water,
+                "closed": self._closed,
+                "enqueued": dict(self.enqueued),
+                "dequeued": dict(self.dequeued),
+                "depths": {
+                    p: sum(len(q) for q in self._queues[p].values())
+                    for p in PRIORITIES
+                },
+            }

@@ -1,0 +1,150 @@
+"""Per-tenant token-bucket quotas.
+
+A multi-tenant daemon must bound what any single tenant can demand: the
+classic token bucket gives each tenant ``capacity`` tokens refilled at
+``refill_per_s``, every admitted request spends one (ops may weigh
+more, e.g. a tune request costs more than a ping), and an empty bucket
+rejects the request with a structured ``QuotaExceededError`` — the
+client sees a clean protocol error, not a hang.
+
+The clock is injectable so tests (and the seeded load generator) can
+drive refill deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+
+#: Token cost of each operation class.  Cheap introspection ops are
+#: free so monitoring never counts against a tenant's budget.
+DEFAULT_COSTS: Dict[str, float] = {
+    "ping": 0.0,
+    "stats": 0.0,
+    "compile": 1.0,
+    "run": 1.0,
+    "verify": 1.0,
+    "warmup": 2.0,
+    "tune": 4.0,
+    "shutdown": 0.0,
+}
+
+
+@dataclass(frozen=True)
+class QuotaConfig:
+    """Token-bucket parameters shared by every tenant.
+
+    ``capacity=None`` disables quota enforcement entirely (every
+    request is granted) — the single-tenant library default.
+    """
+
+    capacity: Optional[float] = 60.0
+    refill_per_s: float = 30.0
+    #: Tenants start with a full bucket (burst-friendly) by default.
+    initial_fill: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity <= 0:
+            raise ConfigurationError(
+                f"quota capacity must be positive (or None), got {self.capacity}"
+            )
+        if self.refill_per_s < 0:
+            raise ConfigurationError(
+                f"quota refill rate must be >= 0, got {self.refill_per_s}"
+            )
+        if not 0.0 <= self.initial_fill <= 1.0:
+            raise ConfigurationError(
+                f"initial_fill must be in [0, 1], got {self.initial_fill}"
+            )
+
+
+class _Bucket:
+    __slots__ = ("tokens", "stamp")
+
+    def __init__(self, tokens: float, stamp: float) -> None:
+        self.tokens = tokens
+        self.stamp = stamp
+
+
+class QuotaManager:
+    """Thread-safe token buckets, one per tenant, created on first use."""
+
+    def __init__(
+        self,
+        config: Optional[QuotaConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        # No config means no quotas (the daemon's --no-quotas path), NOT
+        # the default limits — silently enforcing defaults the operator
+        # turned off would be the worse surprise.
+        self.config = config if config is not None else QuotaConfig(capacity=None)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, _Bucket] = {}
+        self.granted: Dict[str, int] = {}
+        self.rejected: Dict[str, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.capacity is not None
+
+    def try_acquire(self, tenant: str, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens from ``tenant``'s bucket if available."""
+        if not self.enabled or cost <= 0.0:
+            with self._lock:
+                self.granted[tenant] = self.granted.get(tenant, 0) + 1
+            return True
+        capacity = float(self.config.capacity)
+        now = self.clock()
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = _Bucket(
+                    capacity * self.config.initial_fill, now
+                )
+            else:
+                elapsed = max(0.0, now - bucket.stamp)
+                bucket.tokens = min(
+                    capacity, bucket.tokens + elapsed * self.config.refill_per_s
+                )
+                bucket.stamp = now
+            if bucket.tokens >= cost:
+                bucket.tokens -= cost
+                self.granted[tenant] = self.granted.get(tenant, 0) + 1
+                return True
+            self.rejected[tenant] = self.rejected.get(tenant, 0) + 1
+            return False
+
+    def tokens(self, tenant: str) -> Optional[float]:
+        """Current (refilled) token balance, or ``None`` when disabled."""
+        if not self.enabled:
+            return None
+        now = self.clock()
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                return float(self.config.capacity) * self.config.initial_fill
+            elapsed = max(0.0, now - bucket.stamp)
+            return min(
+                float(self.config.capacity),
+                bucket.tokens + elapsed * self.config.refill_per_s,
+            )
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "capacity": self.config.capacity,
+                "refill_per_s": self.config.refill_per_s,
+                "tenants": sorted(
+                    set(self.granted) | set(self.rejected) | set(self._buckets)
+                ),
+                "granted": dict(self.granted),
+                "rejected": dict(self.rejected),
+                "granted_total": sum(self.granted.values()),
+                "rejected_total": sum(self.rejected.values()),
+            }

@@ -1,0 +1,584 @@
+"""The multi-tenant asynchronous compilation daemon.
+
+``KernelServer`` promotes :class:`~repro.service.service.CompileService`
+from an in-process object into a long-lived service: an asyncio
+front-end (``asyncio.start_server`` over a unix socket or TCP) accepts
+newline-delimited-JSON requests from many tenants, a per-tenant
+token-bucket :class:`~repro.serve.quotas.QuotaManager` admits them, and
+a bounded :class:`~repro.serve.workers.WorkerPool` executes the blocking
+compiler work scheduled by the priority-class fair queue — interactive
+ahead of batch ahead of warmup, round-robin across tenants within a
+class.  Compilation itself stays single-flight: N tenants requesting
+the same content-addressed kernel concurrently pay for exactly one
+compile (the service's in-flight rendezvous), and the artifact lands in
+the hash-prefix-sharded store for every later process.
+
+Shutdown is *graceful by default*: draining stops accepting work (new
+requests are answered with a structured ``ServerDrainingError``) but
+every queued and in-flight job still completes and is answered before
+the listener closes — no tenant ever loses an accepted request to a
+restart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    QuotaExceededError,
+    ServeError,
+    ServerDrainingError,
+)
+from repro.serve import protocol
+from repro.serve.protocol import MAX_FRAME_BYTES, Request, Response
+from repro.serve.quotas import DEFAULT_COSTS, QuotaConfig, QuotaManager
+from repro.serve.queue import FairPriorityQueue
+from repro.serve.workers import WorkerPool
+from repro.service import CompileService, ServiceConfig
+
+#: Address of a listening server: a unix-socket path or ``(host, port)``.
+Address = Union[str, Tuple[str, int]]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of one :class:`KernelServer`."""
+
+    #: Unix-socket path; ``None`` selects TCP on ``host``/``port``.
+    socket_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    #: TCP port; 0 lets the OS pick one (reported by :meth:`start`).
+    port: int = 0
+    #: Blocking compiler workers (the bounded pool).
+    workers: int = 4
+    #: Per-tenant token-bucket parameters; ``None`` disables quotas.
+    quota: Optional[QuotaConfig] = field(default_factory=QuotaConfig)
+    #: Seconds a graceful drain may take before the pool is abandoned.
+    drain_timeout_s: float = 60.0
+    #: Stop (with drain) after this many requests; ``None`` = run until
+    #: told.  Lets scripts and CI bound a daemon without signal games.
+    max_requests: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.drain_timeout_s < 0:
+            raise ConfigurationError("drain_timeout_s must be >= 0")
+        if self.max_requests is not None and self.max_requests < 1:
+            raise ConfigurationError("max_requests must be >= 1 or None")
+
+
+class KernelServer:
+    """Asyncio NDJSON front-end over one :class:`CompileService`."""
+
+    def __init__(
+        self,
+        service: Optional[CompileService] = None,
+        config: Optional[ServeConfig] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.service = service or CompileService(
+            ServiceConfig(admission_threshold=2)
+        )
+        self.queue = FairPriorityQueue()
+        self.pool = WorkerPool(self.config.workers, queue=self.queue)
+        # Warmup traffic (service.warmup) schedules through the same
+        # pool, so it can never starve interactive requests.
+        self.service.attach_worker_pool(self.pool)
+        self.quotas = QuotaManager(self.config.quota)
+        self.started_at = time.monotonic()
+        self.counters: Dict[str, int] = {
+            "connections": 0,
+            "requests": 0,
+            "responses": 0,
+            "errors": 0,
+            "protocol_errors": 0,
+            "quota_rejected": 0,
+            "drain_rejected": 0,
+        }
+        self.op_counts: Dict[str, int] = {}
+        self.priority_counts: Dict[str, int] = {}
+        self._draining = False
+        self._stopping = False
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._address: Optional[Address] = None
+        self._writers: set = set()
+        self._stop_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> Optional[Address]:
+        """Where the server listens (available after :meth:`start`)."""
+        return self._address
+
+    async def start(self) -> Address:
+        if self._server is not None:
+            raise ConfigurationError("server is already started")
+        if self.config.socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection,
+                path=self.config.socket_path,
+                limit=MAX_FRAME_BYTES + 1,
+            )
+            self._address = self.config.socket_path
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.config.host,
+                port=self.config.port,
+                limit=MAX_FRAME_BYTES + 1,
+            )
+            sock = self._server.sockets[0].getsockname()
+            self._address = (sock[0], sock[1])
+        return self._address
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`stop` (or a ``shutdown`` request) finishes."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the daemon.
+
+        ``drain=True`` (the default, and the graceful path): refuse new
+        requests, answer everything queued or in flight, then close.
+        ``drain=False`` abandons queued jobs (their futures cancel) —
+        only for tests and emergencies."""
+        if self._stopping:
+            # A concurrent stop (shutdown op racing an operator signal)
+            # owns the teardown; just wait for it to finish.
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            try:
+                await asyncio.wait_for(
+                    self._idle.wait(), timeout=self.config.drain_timeout_s
+                )
+            except asyncio.TimeoutError:
+                pass
+        # The pool drain blocks; keep the event loop responsive so the
+        # in-flight handlers can still write their responses.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None,
+            lambda: self.pool.shutdown(
+                drain=drain, timeout=self.config.drain_timeout_s
+            ),
+        )
+        for writer in list(self._writers):
+            writer.close()
+        self._stopped.set()
+
+    def _request_stop(self, drain: bool = True) -> None:
+        if self._stop_task is None or self._stop_task.done():
+            self._stop_task = asyncio.get_running_loop().create_task(
+                self.stop(drain=drain)
+            )
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.counters["connections"] += 1
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as exc:
+                    if exc.partial:
+                        # Truncated trailing frame (peer vanished mid-line).
+                        self.counters["protocol_errors"] += 1
+                    break
+                except asyncio.LimitOverrunError:
+                    # Oversized frame: answer structurally, then drop the
+                    # connection — an NDJSON stream cannot resynchronise.
+                    self.counters["protocol_errors"] += 1
+                    await self._send(
+                        writer,
+                        Response.failure(
+                            None,
+                            ProtocolError(
+                                f"frame exceeds the {MAX_FRAME_BYTES}-byte limit"
+                            ),
+                        ),
+                    )
+                    break
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not line.strip():
+                    continue
+                response = await self._serve_one(line)
+                try:
+                    await self._send(writer, response)
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if self._should_stop_after():
+                    self._request_stop(drain=True)
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, response: Response) -> None:
+        writer.write(response.encode())
+        await writer.drain()
+        self.counters["responses"] += 1
+
+    def _should_stop_after(self) -> bool:
+        limit = self.config.max_requests
+        return limit is not None and self.counters["requests"] >= limit
+
+    # -- request dispatch ----------------------------------------------------
+
+    async def _serve_one(self, line: bytes) -> Response:
+        received = time.perf_counter()
+        try:
+            request = Request.decode(line)
+        except ProtocolError as exc:
+            self.counters["protocol_errors"] += 1
+            return Response.failure(None, exc)
+        self.counters["requests"] += 1
+        self.op_counts[request.op] = self.op_counts.get(request.op, 0) + 1
+        self.priority_counts[request.priority] = (
+            self.priority_counts.get(request.priority, 0) + 1
+        )
+        meta: Dict[str, Any] = {
+            "op": request.op,
+            "tenant": request.tenant,
+            "priority": request.priority,
+        }
+        if self._draining and request.op not in ("ping", "stats"):
+            self.counters["drain_rejected"] += 1
+            return Response.failure(
+                request.id,
+                ServerDrainingError(
+                    "server is draining; queued work completes but no new "
+                    "requests are accepted"
+                ),
+                meta,
+            )
+        cost = DEFAULT_COSTS.get(request.op, 1.0)
+        if not self.quotas.try_acquire(request.tenant, cost):
+            self.counters["quota_rejected"] += 1
+            return Response.failure(
+                request.id,
+                QuotaExceededError(
+                    f"tenant {request.tenant!r} exhausted its token bucket "
+                    f"(cost {cost}); retry after refill"
+                ),
+                meta,
+            )
+        try:
+            if request.op == "ping":
+                result = self._op_ping()
+            elif request.op == "stats":
+                result = self._op_stats()
+            elif request.op == "shutdown":
+                result = {"draining": bool(request.params.get("drain", True))}
+                self._request_stop(drain=bool(request.params.get("drain", True)))
+            else:
+                result = await self._dispatch_blocking(request, meta, received)
+            elapsed_ms = 1e3 * (time.perf_counter() - received)
+            meta["server_ms"] = round(elapsed_ms, 3)
+            return Response(id=request.id, ok=True, result=result, meta=meta)
+        except BaseException as exc:  # answered, never crashes the daemon
+            self.counters["errors"] += 1
+            return Response.failure(request.id, exc, meta)
+
+    async def _dispatch_blocking(
+        self, request: Request, meta: Dict[str, Any], received: float
+    ) -> Dict[str, Any]:
+        handler = {
+            "compile": self._op_compile,
+            "run": self._op_run,
+            "tune": self._op_tune,
+            "verify": self._op_verify,
+            "warmup": self._op_warmup,
+        }[request.op]
+        self._inflight += 1
+        self._idle.clear()
+        try:
+            queued_at = time.perf_counter()
+
+            def job(params=request.params):
+                started = time.perf_counter()
+                result = handler(params)
+                result["_exec_ms"] = round(1e3 * (time.perf_counter() - started), 3)
+                result["_queue_ms"] = round(1e3 * (started - queued_at), 3)
+                return result
+
+            if request.op == "warmup":
+                # Warmup orchestrates: service.warmup() submits one job
+                # per kernel to the priority pool and waits for them all.
+                # Running the orchestrator itself on that pool would
+                # deadlock a one-worker daemon, so it runs on asyncio's
+                # default executor; only the per-kernel compiles go
+                # through the fair queue (at warmup priority).
+                loop = asyncio.get_running_loop()
+                result = await loop.run_in_executor(None, job)
+            else:
+                future = self.pool.submit(
+                    job, priority=request.priority, tenant=request.tenant
+                )
+                result = await asyncio.wrap_future(future)
+            meta["queue_ms"] = result.pop("_queue_ms")
+            meta["exec_ms"] = result.pop("_exec_ms")
+            source = result.get("source")
+            if source is not None:
+                meta["source"] = source
+            return result
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    # -- operations (run on worker threads) ----------------------------------
+
+    def _op_ping(self) -> Dict[str, Any]:
+        return {
+            "pong": True,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "draining": self._draining,
+        }
+
+    def _op_stats(self) -> Dict[str, Any]:
+        return {"server": self.stats(), "service": self.service.stats()}
+
+    def _op_compile(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        spec, options, arch = protocol.spec_and_options(params)
+        program, source = self.service.get_program_with_source(
+            spec,
+            arch,
+            options,
+            timeout_s=params.get("timeout"),
+            shape_hint=protocol.shape_hint(params),
+        )
+        return {
+            "key": self.service.reconciled_key(spec, arch, options),
+            "variant": program.options.variant_name(),
+            "source": source,
+            "codegen_ms": round(1e3 * program.codegen_seconds, 3),
+            "spm_plan": program.plan.describe(),
+            "verified": program.verification is not None,
+        }
+
+    def _op_run(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        import numpy as np
+
+        from repro.runtime.executor import run_gemm
+
+        spec, options, arch = protocol.spec_and_options(params)
+        M = int(params.get("M", 64))
+        N = int(params.get("N", 64))
+        K = int(params.get("K", 32))
+        seed = int(params.get("seed", 0))
+        alpha = float(params.get("alpha", 1.0))
+        program, source = self.service.get_program_with_source(
+            spec,
+            arch,
+            options,
+            timeout_s=params.get("timeout"),
+            shape_hint=protocol.shape_hint(params),
+        )
+        rng = np.random.default_rng(seed)
+        batch = int(params.get("batch_count", 4)) if spec.is_batched else None
+        lead = (batch,) if batch else ()
+        A = rng.standard_normal(lead + ((K, M) if spec.trans_a else (M, K)))
+        B = rng.standard_normal(lead + ((N, K) if spec.trans_b else (K, N)))
+        C = np.zeros(lead + (M, N))
+        C, report = run_gemm(
+            program, A, B, C, alpha=alpha, beta=0.0,
+            guarded=bool(params.get("guarded", False)),
+        )
+        A_eff = A.swapaxes(-1, -2) if spec.trans_a else A
+        B_eff = B.swapaxes(-1, -2) if spec.trans_b else B
+        max_error = float(np.abs(C - alpha * (A_eff @ B_eff)).max())
+        result = {
+            "key": self.service.reconciled_key(spec, arch, options),
+            "source": source,
+            "gflops": report.gflops,
+            "simulated_ms": 1e3 * report.elapsed_seconds,
+            "max_error": max_error,
+            "ok": max_error < 1e-8,
+        }
+        for stat in ("dma_retries", "rma_retries", "lost_replies"):
+            if stat in report.stats:
+                result[stat] = int(report.stats[stat])
+        return result
+
+    def _op_tune(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro import api
+
+        spec, options, arch = protocol.spec_and_options(params)
+        shape = protocol.shape_hint(params) or (1024, 1024, 1024)
+        record = api.tune(
+            spec,
+            shape=shape,
+            arch=arch,
+            seed=int(params.get("seed", 0)),
+            budget=int(params.get("budget", 8)),
+            options=options if params.get("tile") or params.get("fusion") else None,
+            service=self.service,
+        )
+        row = record.describe()
+        return {
+            "shape_class": row["shape_class"],
+            "config": row["config"],
+            "best_gflops": row["best_gflops"],
+            "improvement_pct": row["improvement_pct"],
+            "key": row["key"],
+        }
+
+    def _op_verify(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.verify import verify_program
+
+        spec, options, arch = protocol.spec_and_options(params)
+        program, source = self.service.get_program_with_source(
+            spec, arch, options.with_(verify=False),
+            timeout_s=params.get("timeout"),
+        )
+        report = verify_program(program)
+        described = report.describe()
+        return {
+            "key": self.service.reconciled_key(spec, arch, options),
+            "source": source,
+            "ok": report.ok,
+            "checks": len(described.get("checks", [])),
+        }
+
+    def _op_warmup(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        rows = self.service.warmup()
+        compiled = sum(1 for r in rows if r["source"] == "compiled")
+        return {
+            "kernels": len(rows),
+            "compiled": compiled,
+            "cached": len(rows) - compiled,
+        }
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "address": (
+                list(self._address)
+                if isinstance(self._address, tuple)
+                else self._address
+            ),
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "draining": self._draining,
+            "counters": dict(self.counters),
+            "ops": dict(self.op_counts),
+            "priorities": dict(self.priority_counts),
+            "pool": self.pool.stats(),
+            "quota": self.quotas.stats(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Background-thread harness (tests, load generator, embedders)
+# ---------------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A :class:`KernelServer` running its event loop on a daemon thread.
+
+    ``address`` is valid as soon as the constructor-issuing helper
+    returns; ``stop()`` drains and joins.  Context-manager use stops
+    with a graceful drain on exit.
+    """
+
+    def __init__(self, server: KernelServer) -> None:
+        self.server = server
+        self.address: Optional[Address] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 10.0) -> "ServerHandle":
+        ready = threading.Event()
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self.loop = loop
+            try:
+                self.address = loop.run_until_complete(self.server.start())
+            except BaseException as exc:
+                self._startup_error = exc
+                ready.set()
+                loop.close()
+                return
+            ready.set()
+            try:
+                loop.run_until_complete(self.server.serve_until_stopped())
+                # A stop() queued by another thread may still be pending
+                # (it just awaits the already-set stopped event) — let it
+                # finish so no task is destroyed with work outstanding.
+                pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.wait(pending, timeout=5.0)
+                    )
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="swgemm-serve", daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout=timeout):
+            raise ServeError("server failed to start within the timeout")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        if self.loop is None or self._thread is None:
+            return
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.stop(drain=drain), self.loop
+            )
+            try:
+                future.result(timeout=timeout)
+            except (asyncio.TimeoutError, RuntimeError, TimeoutError):
+                pass
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_in_thread(
+    service: Optional[CompileService] = None,
+    config: Optional[ServeConfig] = None,
+    timeout: float = 10.0,
+) -> ServerHandle:
+    """Boot a daemon on a background thread; returns its handle."""
+    return ServerHandle(KernelServer(service, config)).start(timeout=timeout)

@@ -1,0 +1,138 @@
+"""Bounded worker pool over the priority-class fair queue.
+
+One pool serves *every* blocking job in the daemon — interactive
+compiles, batch tunes, warmup precompilation — so the scheduling policy
+lives entirely in :class:`~repro.serve.queue.FairPriorityQueue`: a
+worker simply executes whatever the queue hands it next.  This is also
+what :meth:`repro.service.service.CompileService.warmup` submits to (at
+``warmup`` priority), which is how warmup traffic becomes incapable of
+starving interactive requests: the moment an interactive job is queued
+it is served before any queued warmup job.
+
+Jobs resolve :class:`concurrent.futures.Future`\\ s, so the asyncio
+front-end can ``asyncio.wrap_future`` them and the synchronous
+``warmup`` path can ``result()`` them — one dispatch mechanism for both
+worlds.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.serve.queue import DEFAULT_PRIORITY, PRIORITIES, FairPriorityQueue
+
+
+@dataclass
+class _Job:
+    fn: Callable[[], object]
+    future: Future = field(default_factory=Future)
+    priority: str = DEFAULT_PRIORITY
+    tenant: str = "default"
+
+
+class WorkerPool:
+    """Fixed set of daemon threads draining a :class:`FairPriorityQueue`."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue: Optional[FairPriorityQueue] = None,
+        name: str = "swgemm-worker",
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"worker pool needs >= 1 worker, got {workers}")
+        self.queue = queue or FairPriorityQueue()
+        self.workers = workers
+        self.executed: Dict[str, int] = {p: 0 for p in PRIORITIES}
+        self.failed = 0
+        self._active = 0
+        self._cond = threading.Condition()
+        self._threads = [
+            threading.Thread(target=self._run, name=f"{name}-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[[], object],
+        priority: str = DEFAULT_PRIORITY,
+        tenant: str = "default",
+    ) -> Future:
+        """Queue ``fn`` for execution; returns its future."""
+        job = _Job(fn=fn, priority=priority, tenant=tenant)
+        self.queue.put(job, priority=priority, tenant=tenant)
+        return job.future
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every queued and in-progress job has finished.
+
+        Returns ``False`` if the timeout expired first.  New submissions
+        are *not* prevented — combine with ``queue.close()`` (or
+        :meth:`shutdown`) for a terminal drain."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: len(self.queue) == 0 and self._active == 0,
+                timeout=timeout,
+            )
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> bool:
+        """Stop the pool.  ``drain=True`` finishes queued work first;
+        ``drain=False`` abandons queued jobs (their futures are
+        cancelled).  Returns ``False`` on drain timeout."""
+        drained = True
+        if drain:
+            drained = self.drain(timeout=timeout)
+        self.queue.close()
+        if not drain:
+            while True:
+                job = self.queue.get(timeout=0)
+                if job is None:
+                    break
+                job.future.cancel()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        return drained
+
+    # -- worker loop ---------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            job = self.queue.get()
+            if job is None:  # closed and drained
+                return
+            with self._cond:
+                self._active += 1
+            try:
+                if not job.future.set_running_or_notify_cancel():
+                    continue
+                try:
+                    job.future.set_result(job.fn())
+                except BaseException as exc:  # delivered via the future
+                    self.failed += 1
+                    job.future.set_exception(exc)
+            finally:
+                with self._cond:
+                    self._active -= 1
+                    self.executed[job.priority] += 1
+                    self._cond.notify_all()
+
+    def stats(self) -> Dict[str, object]:
+        with self._cond:
+            active = self._active
+        return {
+            "workers": self.workers,
+            "active": active,
+            "failed": self.failed,
+            "executed": dict(self.executed),
+            "queue": self.queue.stats(),
+        }

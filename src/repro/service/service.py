@@ -21,7 +21,6 @@ import dataclasses
 import inspect
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -33,7 +32,7 @@ from repro.core.pipeline import GemmCompiler
 from repro.core.spec import GemmSpec
 from repro.faults import FaultInjector, FaultPolicy
 from repro.runtime.program import CompiledProgram
-from repro.service.cache import LRUCache
+from repro.service.cache import AdmissionLRUCache, LRUCache
 from repro.service.keys import cache_key
 from repro.service.store import ArtifactStore
 from repro.sunway.arch import SW26010PRO, ArchSpec
@@ -54,11 +53,17 @@ class ServiceConfig:
     cache_dir: Optional[Path] = None
     #: ``False`` bypasses both tiers (the CLI's ``--no-cache``).
     enabled: bool = True
-    #: Worker threads used by :meth:`CompileService.warmup`.
+    #: Worker threads of the service's priority worker pool (used by
+    #: :meth:`CompileService.warmup`, shared with the serving daemon).
     workers: int = 4
     #: Optional fault plane for the artifact store (chaos testing of the
     #: quarantine/recompile path); ``None`` or disabled means no faults.
     fault_policy: Optional[FaultPolicy] = None
+    #: Hot-tier admission gate: a key is only admitted to a *full*
+    #: memory tier after this many accesses (1 = always admit, the
+    #: library default; the serving daemon runs with 2 so one tenant's
+    #: cold sweep cannot evict every other tenant's hot kernels).
+    admission_threshold: int = 1
 
 
 @dataclass
@@ -107,9 +112,13 @@ class CompileService:
         self.config = config or ServiceConfig()
         self._compile = compile_fn or _default_compile
         self._compile_takes_timeout = _accepts_timeout(self._compile)
-        self._memory: LRUCache[CompiledProgram] = LRUCache(
-            self.config.memory_capacity
-        )
+        if self.config.admission_threshold > 1:
+            self._memory: LRUCache[CompiledProgram] = AdmissionLRUCache(
+                self.config.memory_capacity,
+                admission_threshold=self.config.admission_threshold,
+            )
+        else:
+            self._memory = LRUCache(self.config.memory_capacity)
         injector = None
         if self.config.fault_policy is not None and self.config.fault_policy.enabled:
             injector = FaultInjector(self.config.fault_policy).fork("artifact")
@@ -120,6 +129,11 @@ class CompileService:
         )
         self._lock = threading.Lock()
         self._inflight: Dict[str, _Inflight] = {}
+        #: shared priority worker pool (lazily built for warmup, or
+        #: attached by the serving daemon so warmup and request traffic
+        #: schedule through one FairPriorityQueue)
+        self._pool = None
+        self._pool_owned = False
         #: lazily-built tuning-record store (imported on first use so the
         #: service module does not depend on repro.tune at import time)
         self._tuning_store = None
@@ -164,10 +178,44 @@ class CompileService:
         the tuned configuration before key derivation, so tuned shape
         classes compile (and cache) straight to their best config.
         """
+        return self.get_program_with_source(
+            spec, arch, options, timeout_s=timeout_s, shape_hint=shape_hint
+        )[0]
+
+    def get_program_with_source(
+        self,
+        spec: GemmSpec,
+        arch: Optional[ArchSpec] = None,
+        options: Optional[CompilerOptions] = None,
+        timeout_s: Optional[float] = None,
+        shape_hint: Optional[Tuple[int, ...]] = None,
+    ) -> Tuple[CompiledProgram, str]:
+        """:meth:`get_program` plus where the program came from:
+        ``memory``, ``disk``, ``deduped`` (another request's in-flight
+        compile) or ``compiled``.  The serving daemon reports this per
+        response so clients — and the load-generator benchmark — can
+        measure cache hit rates without scraping server logs."""
         arch = arch or SW26010PRO
         options = options or CompilerOptions()
         options = self._apply_tuning(spec, arch, options, shape_hint)
-        return self._get(spec, arch, options, timeout_s=timeout_s)[0]
+        return self._get(spec, arch, options, timeout_s=timeout_s)
+
+    def reconciled_key(
+        self,
+        spec: GemmSpec,
+        arch: Optional[ArchSpec] = None,
+        options: Optional[CompilerOptions] = None,
+    ) -> str:
+        """The cache key a request will actually be served under.
+
+        Unlike :meth:`key_for` this reconciles the options first — the
+        same normalisation :meth:`get_program` applies — so distinct
+        descriptors that compile identically (inert knobs, ``--no-verify``)
+        map to one key.  The load generator uses this to count unique
+        kernels a trace will demand."""
+        arch = arch or SW26010PRO
+        options = reconcile_options(spec, options or CompilerOptions(), arch)
+        return cache_key(spec, arch, options)
 
     def compile(
         self,
@@ -182,19 +230,61 @@ class CompileService:
             spec, arch, options, timeout_s=timeout_s, shape_hint=shape_hint
         )
 
+    def attach_worker_pool(self, pool) -> None:
+        """Share the serving daemon's priority worker pool.
+
+        Once attached, :meth:`warmup` submits through it (at ``warmup``
+        priority) instead of building a private pool — so precompilation
+        traffic schedules behind the daemon's interactive and batch
+        requests on the exact same :class:`~repro.serve.queue.FairPriorityQueue`
+        and can never starve them."""
+        if self._pool is not None and self._pool_owned and self._pool is not pool:
+            self._pool.shutdown(drain=True)
+        self._pool = pool
+        self._pool_owned = False
+
+    def worker_pool(self, workers: Optional[int] = None):
+        """The attached pool, or a lazily created private one."""
+        with self._lock:
+            if self._pool is None:
+                from repro.serve.workers import WorkerPool
+
+                self._pool = WorkerPool(
+                    max(1, workers or self.config.workers),
+                    name="swgemm-service",
+                )
+                self._pool_owned = True
+            return self._pool
+
+    def close(self) -> None:
+        """Drain and shut down the private worker pool, if one exists."""
+        with self._lock:
+            pool, owned = self._pool, self._pool_owned
+            self._pool = None
+            self._pool_owned = False
+        if pool is not None and owned:
+            pool.shutdown(drain=True)
+
     def warmup(
         self,
         requests: Optional[Sequence[Request]] = None,
         workers: Optional[int] = None,
+        priority: str = "warmup",
+        tenant: str = "warmup",
     ) -> List[Dict[str, object]]:
-        """Precompile a request set over a worker pool.
+        """Precompile a request set through the priority worker pool.
 
-        Returns one row per request: key, variant, where the program came
-        from (``memory``/``disk``/``compiled``) and the wall time spent.
+        Every job is submitted at ``warmup`` priority (the lowest
+        class), so on a daemon-attached pool interactive and batch
+        requests queued concurrently are always served first — warmup
+        can saturate idle workers but never starve live traffic.
+        Returns one row per request: key, variant, where the program
+        came from (``memory``/``disk``/``compiled``) and the wall time
+        spent.  ``workers`` only sizes a lazily created private pool;
+        an attached pool keeps its own size.
         """
         requests = list(requests if requests is not None else standard_requests())
-        workers = max(1, workers or self.config.workers)
-        rows: List[Dict[str, object]] = []
+        pool = self.worker_pool(workers)
 
         def one(request: Request) -> Dict[str, object]:
             spec, arch, options = request
@@ -210,12 +300,15 @@ class CompileService:
                 "seconds": time.perf_counter() - started,
             }
 
-        if workers == 1 or len(requests) <= 1:
-            rows = [one(r) for r in requests]
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                rows = list(pool.map(one, requests))
-        return rows
+        futures = [
+            pool.submit(
+                (lambda request=request: one(request)),
+                priority=priority,
+                tenant=tenant,
+            )
+            for request in requests
+        ]
+        return [future.result() for future in futures]
 
     def clear(self) -> Dict[str, int]:
         """Drop both tiers; returns how many entries each held."""
@@ -249,6 +342,10 @@ class CompileService:
                     "hits": self.tuning_hits,
                 },
             }
+            pool = self._pool
+        # Per-priority-class execution counts of the shared worker pool
+        # (warmup vs batch vs interactive) — absent until a pool exists.
+        report["workers"] = pool.stats() if pool is not None else None
         report["tuning"]["records"] = len(self.tuning_store.keys())
         if self._store is not None:
             report["disk"] = self._store.stats()

@@ -2,11 +2,21 @@
 
 One JSON file per content-addressed key under a cache directory, written
 atomically (temp file + rename) so concurrent writers — several CLI
-invocations, a warmup fleet — can share the directory without torn
-artifacts.  Corrupt or version-skewed artifacts are treated as misses
-and *quarantined* to ``<cache-dir>/quarantine/`` rather than silently
-deleted, so an operator can diagnose what corrupted them; the caller
-recompiles and the fresh artifact overwrites the key.
+invocations, a warmup fleet, the serving daemon's worker pool — can
+share the directory without torn artifacts.  Corrupt or version-skewed
+artifacts are treated as misses and *quarantined* to
+``<cache-dir>/quarantine/`` rather than silently deleted, so an
+operator can diagnose what corrupted them; the caller recompiles and
+the fresh artifact overwrites the key.
+
+Artifacts are *sharded* by content-hash prefix: key ``ca7382…`` lives
+at ``<cache-dir>/ca/ca7382….json``.  A flat directory degrades badly at
+serving scale (every lookup readdirs thousands of entries, rsync/ls
+choke), and hash-prefix shards spread a content-addressed keyspace
+uniformly by construction.  Legacy flat stores migrate transparently —
+and idempotently — on open: any artifact found at the root is moved
+into its shard, re-running the migration is a no-op, and a flat and a
+sharded copy of the same key resolve to the sharded one.
 
 The store also keeps cumulative service counters in ``stats.json`` so a
 later ``swgemm cache stats`` invocation can report the hits a previous
@@ -33,6 +43,28 @@ _STATS_FILE = "stats.json"
 _SUFFIX = ".json"
 _QUARANTINE_DIR = "quarantine"
 
+#: Hex characters of the key prefix that name a shard directory (256
+#: shards over a uniformly distributed content hash).
+SHARD_WIDTH = 2
+
+_HEX = set("0123456789abcdef")
+
+
+def shard_for(key: str) -> str:
+    """Shard directory name for a content-addressed key."""
+    prefix = key[:SHARD_WIDTH].lower()
+    if len(prefix) == SHARD_WIDTH and all(c in _HEX for c in prefix):
+        return prefix
+    # Non-hex or degenerate keys (test doubles) share a fallback shard.
+    return "_" * SHARD_WIDTH
+
+
+def _is_shard_dir(path: Path) -> bool:
+    name = path.name
+    return len(name) == SHARD_WIDTH and (
+        all(c in _HEX for c in name) or name == "_" * SHARD_WIDTH
+    )
+
 
 def default_cache_dir() -> Path:
     """``$SWGEMM_CACHE_DIR`` or ``~/.cache/swgemm``."""
@@ -50,6 +82,7 @@ class ArtifactStore:
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.migrated = self._migrate_flat_layout()
         self.disk_hits = 0
         self.disk_misses = 0
         self.writes = 0
@@ -63,16 +96,63 @@ class ArtifactStore:
     # -- artifact files ----------------------------------------------------
 
     def path_for(self, key: str) -> Path:
-        return self.root / f"{key}{_SUFFIX}"
+        return self.root / shard_for(key) / f"{key}{_SUFFIX}"
 
     @property
     def quarantine_dir(self) -> Path:
         return self.root / _QUARANTINE_DIR
 
+    def _migrate_flat_layout(self) -> int:
+        """Move pre-sharding artifacts from the root into their shards.
+
+        Idempotent by construction: a second run finds nothing flat to
+        move, and a key that somehow exists both flat and sharded keeps
+        the sharded copy (the flat duplicate is dropped).  Best-effort —
+        a read-only legacy store still serves flat artifacts via the
+        fallback in :meth:`get`."""
+        moved = 0
+        for path in sorted(self.root.glob(f"*{_SUFFIX}")):
+            if path.name == _STATS_FILE:
+                continue
+            target = self.path_for(path.stem)
+            try:
+                target.parent.mkdir(exist_ok=True)
+                if target.exists():
+                    path.unlink()
+                else:
+                    os.replace(path, target)
+            except OSError:
+                continue
+            moved += 1
+        if moved:
+            self.bump_persistent_stats({"migrated": moved})
+        return moved
+
+    def _artifact_paths(self) -> List[Path]:
+        """Every artifact file: sharded, plus any flat stragglers a
+        failed/read-only migration left behind."""
+        paths = [
+            p
+            for shard in self.root.iterdir()
+            if shard.is_dir() and _is_shard_dir(shard)
+            for p in shard.glob(f"*{_SUFFIX}")
+        ]
+        paths.extend(
+            p
+            for p in self.root.glob(f"*{_SUFFIX}")
+            if p.name != _STATS_FILE
+        )
+        return sorted(paths)
+
     def get(
         self, key: str, verify_on_load: bool = True
     ) -> Optional[CompiledProgram]:
         path = self.path_for(key)
+        if not path.exists():
+            # Read-only legacy stores cannot migrate; still serve flat.
+            flat = self.root / f"{key}{_SUFFIX}"
+            if flat.exists():
+                path = flat
         try:
             data = json.loads(path.read_text())
             program = CompiledProgram.from_dict(data["program"])
@@ -116,6 +196,7 @@ class ArtifactStore:
             "program": program.to_dict(),
         }
         path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         self._atomic_write(path, json.dumps(payload))
         self.writes += 1
         if self.injector is not None:
@@ -144,24 +225,32 @@ class ArtifactStore:
         self.bump_persistent_stats({"quarantined": 1})
 
     def keys(self) -> List[str]:
-        return sorted(
-            p.stem for p in self.root.glob(f"*{_SUFFIX}") if p.name != _STATS_FILE
-        )
+        return sorted(p.stem for p in self._artifact_paths())
 
     def total_bytes(self) -> int:
-        return sum(
-            p.stat().st_size
-            for p in self.root.glob(f"*{_SUFFIX}")
-            if p.name != _STATS_FILE
-        )
+        return sum(p.stat().st_size for p in self._artifact_paths())
+
+    def shard_counts(self) -> Dict[str, int]:
+        """Artifacts per (non-empty) shard directory."""
+        counts: Dict[str, int] = {}
+        for path in self._artifact_paths():
+            shard = path.parent.name if path.parent != self.root else "(flat)"
+            counts[shard] = counts.get(shard, 0) + 1
+        return dict(sorted(counts.items()))
 
     def clear(self) -> int:
         """Remove every artifact and the persistent counters."""
         removed = 0
-        for p in self.root.glob(f"*{_SUFFIX}"):
+        for p in self._artifact_paths():
             p.unlink(missing_ok=True)
-            if p.name != _STATS_FILE:
-                removed += 1
+            removed += 1
+        (self.root / _STATS_FILE).unlink(missing_ok=True)
+        for shard in self.root.iterdir():
+            if shard.is_dir() and _is_shard_dir(shard):
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass  # non-empty (racing writer) — keep it
         return removed
 
     # -- persistent counters ------------------------------------------------
@@ -203,10 +292,14 @@ class ArtifactStore:
         quarantine_files = (
             len(list(qdir.glob(f"*{_SUFFIX}"))) if qdir.is_dir() else 0
         )
+        shards = self.shard_counts()
         return {
             "dir": str(self.root),
             "artifacts": len(self.keys()),
             "bytes": self.total_bytes(),
+            "shards": len(shards),
+            "per_shard": shards,
+            "migrated": self.migrated,
             "hits": self.disk_hits,
             "misses": self.disk_misses,
             "writes": self.writes,

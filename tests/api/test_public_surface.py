@@ -17,6 +17,9 @@ EXPECTED_EXPORTS = sorted(
         # the stable facade
         "api",
         "GemmResult",
+        # serving daemon client
+        "Client",
+        "connect",
         # problem + options
         "GemmSpec",
         "CompilerOptions",
@@ -66,6 +69,7 @@ EXPECTED_API = {
     "tune": ["spec", "shape", "arch", "seed", "budget", "options",
              "service", "full_result", "option_overrides"],
     "verify": ["program"],
+    "connect": ["address", "tenant", "timeout"],
 }
 
 
@@ -80,7 +84,7 @@ def test_every_export_resolves():
 
 def test_api_module_exports():
     assert sorted(api.__all__) == sorted(
-        ["GemmResult", *EXPECTED_API]
+        ["GemmResult", "Client", *EXPECTED_API]
     )
 
 

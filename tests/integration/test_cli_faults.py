@@ -53,8 +53,12 @@ def test_cache_stats_reports_quarantine(tmp_path, capsys):
     cache = tmp_path / "cache"
     assert main(["--cache-dir", str(cache), "run",
                  "-M", "512", "-N", "512", "-K", "256"]) == 0
-    # corrupt the artifact the run just cached
-    artifacts = [p for p in cache.glob("*.json") if p.name != "stats.json"]
+    # corrupt the artifact the run just cached (stores shard by key prefix)
+    artifacts = [
+        p
+        for p in cache.glob("*/*.json")
+        if p.parent.name != "quarantine"
+    ]
     assert artifacts
     artifacts[0].write_text(artifacts[0].read_text()[:30])
     capsys.readouterr()

@@ -1,0 +1,131 @@
+"""CLI surface of the serving daemon: ``swgemm serve``.
+
+The boot test runs the daemon as a real subprocess — the same shape as
+the CI smoke job — using ``--ready-file`` as the rendezvous so the OS
+can pick the port, then speaks the wire protocol through the public
+client and shuts the daemon down over the socket.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def test_serve_help(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["serve", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    for flag in ("--socket", "--quota-capacity", "--no-quotas",
+                 "--max-requests", "--ready-file", "--warmup"):
+        assert flag in out
+
+
+def test_serve_rejects_cache_dir_that_is_a_file(tmp_path, capsys):
+    path = tmp_path / "not-a-dir"
+    path.write_text("occupied")
+    code = main(["serve", "--cache-dir", str(path)])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "swgemm: error:" in err
+    assert "not a directory" in err
+
+
+def test_serve_rejects_unwritable_cache_dir(tmp_path, capsys):
+    if os.geteuid() == 0:
+        pytest.skip("root ignores directory permissions")
+    path = tmp_path / "readonly"
+    path.mkdir()
+    path.chmod(0o500)
+    try:
+        code = main(["serve", "--cache-dir", str(path)])
+    finally:
+        path.chmod(0o700)
+    assert code == 1
+    assert "not writable" in capsys.readouterr().err
+
+
+def _boot_daemon(tmp_path, *extra_args):
+    ready = tmp_path / "ready.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--ready-file", str(ready),
+            "--workers", "2",
+            *extra_args,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if ready.exists() and ready.read_text().strip():
+            return process, json.loads(ready.read_text())
+        if process.poll() is not None:
+            raise AssertionError(
+                f"daemon exited early:\n{process.stdout.read()}"
+            )
+        time.sleep(0.05)
+    process.kill()
+    raise AssertionError("daemon never wrote the ready file")
+
+
+def test_serve_subprocess_boot_ping_shutdown(tmp_path):
+    from repro import connect
+
+    process, info = _boot_daemon(tmp_path)
+    try:
+        assert info["pid"] == process.pid
+        address = (
+            info["socket"] if info["socket"] else (info["host"], info["port"])
+        )
+        with connect(address, tenant="smoke") as client:
+            assert client.ping()["pong"]
+            compiled = client.compile({"arch": "toy"})
+            assert compiled["source"] == "compiled"
+            stats = client.stats()
+            assert stats["server"]["counters"]["requests"] >= 2
+            client.shutdown(drain=True)
+        process.wait(timeout=30.0)
+        assert process.returncode == 0
+        output = process.stdout.read()
+        assert "listening on" in output
+        assert "drained and stopped" in output
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)
+
+
+def test_serve_subprocess_unix_socket(tmp_path):
+    from repro import connect
+
+    sock = tmp_path / "swgemm.sock"
+    process, info = _boot_daemon(tmp_path, "--socket", str(sock))
+    try:
+        assert info["socket"] == str(sock)
+        with connect(str(sock), tenant="smoke") as client:
+            assert client.ping()["pong"]
+            client.shutdown(drain=True)
+        process.wait(timeout=30.0)
+        assert process.returncode == 0
+        # The daemon removes its socket file on clean exit.
+        assert not sock.exists()
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)

@@ -1,0 +1,124 @@
+"""Fair priority queue: class ordering, tenant fairness, drain.
+
+The queue is the scheduling heart of the daemon: strict priority
+between classes (interactive > batch > warmup) and round-robin across
+tenants inside a class.  These tests pin both properties down
+single-threadedly (the ordering contract is deterministic) plus the
+blocking/close behaviour the worker pool depends on.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.queue import (
+    DEFAULT_PRIORITY,
+    PRIORITIES,
+    FairPriorityQueue,
+    check_priority,
+)
+
+
+def drain_all(queue):
+    items = []
+    while True:
+        item = queue.get(timeout=0)
+        if item is None:
+            return items
+        items.append(item)
+
+
+def test_priority_classes_are_strictly_ordered():
+    queue = FairPriorityQueue()
+    queue.put("w", priority="warmup", tenant="t")
+    queue.put("b", priority="batch", tenant="t")
+    queue.put("i", priority="interactive", tenant="t")
+    queue.put("i2", priority="interactive", tenant="t")
+    assert drain_all(queue) == ["i", "i2", "b", "w"]
+
+
+def test_tenants_round_robin_within_a_class():
+    queue = FairPriorityQueue()
+    for n in range(3):
+        queue.put(f"a{n}", priority="batch", tenant="alice")
+    for n in range(2):
+        queue.put(f"b{n}", priority="batch", tenant="bob")
+    queue.put("c0", priority="batch", tenant="carol")
+    # Interleaved by arrival order of tenants, not 3 alices first.
+    assert drain_all(queue) == ["a0", "b0", "c0", "a1", "b1", "a2"]
+
+
+def test_one_greedy_tenant_cannot_starve_another():
+    queue = FairPriorityQueue()
+    for n in range(100):
+        queue.put(f"g{n}", priority="interactive", tenant="greedy")
+    queue.put("x", priority="interactive", tenant="meek")
+    order = drain_all(queue)
+    # The meek tenant's single item is served second, not 101st.
+    assert order.index("x") == 1
+
+
+def test_unknown_priority_rejected():
+    queue = FairPriorityQueue()
+    with pytest.raises(ConfigurationError):
+        queue.put("x", priority="urgent", tenant="t")
+    with pytest.raises(ConfigurationError):
+        check_priority("urgent")
+    assert DEFAULT_PRIORITY in PRIORITIES
+
+
+def test_get_blocks_until_put():
+    queue = FairPriorityQueue()
+    got = []
+
+    def consumer():
+        got.append(queue.get(timeout=5))
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    queue.put("late", priority="interactive", tenant="t")
+    thread.join(timeout=5)
+    assert got == ["late"]
+
+
+def test_close_serves_queued_items_then_returns_none():
+    queue = FairPriorityQueue()
+    queue.put("pending", priority="batch", tenant="t")
+    queue.close()
+    # Graceful-drain contract: what was accepted is still served...
+    assert queue.get(timeout=0) == "pending"
+    # ...then the queue reports exhaustion instead of blocking.
+    assert queue.get(timeout=5) is None
+    # New work is refused after close.
+    with pytest.raises(ConfigurationError):
+        queue.put("rejected", priority="batch", tenant="t")
+
+
+def test_close_wakes_blocked_getters():
+    queue = FairPriorityQueue()
+    results = []
+
+    def consumer():
+        results.append(queue.get(timeout=30))
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    queue.close()
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+    assert results == [None]
+
+
+def test_stats_counts_per_class():
+    queue = FairPriorityQueue()
+    queue.put("a", priority="interactive", tenant="t1")
+    queue.put("b", priority="warmup", tenant="t2")
+    stats = queue.stats()
+    assert stats["size"] == 2
+    assert stats["enqueued"]["interactive"] == 1
+    assert stats["enqueued"]["warmup"] == 1
+    queue.get(timeout=0)
+    stats = queue.stats()
+    assert stats["dequeued"]["interactive"] == 1
+    assert stats["depths"]["warmup"] == 1

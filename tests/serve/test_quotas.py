@@ -1,0 +1,114 @@
+"""Per-tenant token buckets: exhaustion, refill, isolation.
+
+The clock is injectable, so every refill scenario is deterministic —
+no sleeps, no flaky timing.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.quotas import DEFAULT_COSTS, QuotaConfig, QuotaManager
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def manager(clock, capacity=10.0, refill=1.0, initial=1.0):
+    return QuotaManager(
+        QuotaConfig(
+            capacity=capacity, refill_per_s=refill, initial_fill=initial
+        ),
+        clock=clock,
+    )
+
+
+def test_bucket_exhausts_at_capacity(clock):
+    quotas = manager(clock)
+    granted = sum(quotas.try_acquire("t", 1.0) for _ in range(15))
+    assert granted == 10
+    assert not quotas.try_acquire("t", 1.0)
+
+
+def test_refill_restores_tokens_over_time(clock):
+    quotas = manager(clock, capacity=5.0, refill=2.0)
+    for _ in range(5):
+        assert quotas.try_acquire("t", 1.0)
+    assert not quotas.try_acquire("t", 1.0)
+    clock.advance(1.5)  # 3 tokens back at 2/s
+    assert quotas.try_acquire("t", 1.0)
+    assert quotas.try_acquire("t", 1.0)
+    assert quotas.try_acquire("t", 1.0)
+    assert not quotas.try_acquire("t", 1.0)
+
+
+def test_refill_never_exceeds_capacity(clock):
+    quotas = manager(clock, capacity=4.0, refill=100.0)
+    clock.advance(3600.0)
+    assert quotas.tokens("t") == pytest.approx(4.0)
+
+
+def test_tenants_are_isolated(clock):
+    quotas = manager(clock, capacity=2.0)
+    assert quotas.try_acquire("hog", 2.0)
+    assert not quotas.try_acquire("hog", 1.0)
+    # The hog's exhaustion must not touch anyone else's bucket.
+    assert quotas.try_acquire("other", 1.0)
+
+
+def test_zero_cost_ops_always_admitted(clock):
+    quotas = manager(clock, capacity=1.0)
+    assert quotas.try_acquire("t", 1.0)
+    for _ in range(100):
+        assert quotas.try_acquire("t", 0.0)
+
+
+def test_disabled_quotas_admit_everything(clock):
+    quotas = QuotaManager(None, clock=clock)
+    for _ in range(1000):
+        assert quotas.try_acquire("t", 100.0)
+    quotas = QuotaManager(QuotaConfig(capacity=None), clock=clock)
+    assert quotas.try_acquire("t", 10**6)
+
+
+def test_stats_report_grants_and_rejections(clock):
+    quotas = manager(clock, capacity=2.0)
+    quotas.try_acquire("t", 1.0)
+    quotas.try_acquire("t", 1.0)
+    quotas.try_acquire("t", 1.0)  # rejected
+    stats = quotas.stats()
+    assert stats["granted"]["t"] == 2
+    assert stats["rejected"]["t"] == 1
+    assert stats["granted_total"] == 2
+    assert stats["rejected_total"] == 1
+    assert "t" in stats["tenants"]
+
+
+def test_costs_table_covers_every_op():
+    from repro.serve.protocol import OPS
+
+    assert set(DEFAULT_COSTS) == set(OPS)
+    # Administrative ops are free; tune is the most expensive.
+    assert DEFAULT_COSTS["ping"] == 0.0
+    assert DEFAULT_COSTS["tune"] == max(DEFAULT_COSTS.values())
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        QuotaConfig(capacity=-1.0)
+    with pytest.raises(ConfigurationError):
+        QuotaConfig(refill_per_s=-0.1)
+    with pytest.raises(ConfigurationError):
+        QuotaConfig(initial_fill=2.0)
