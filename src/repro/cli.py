@@ -171,9 +171,13 @@ def _service_from_args(args) -> "CompileService":
     return CompileService(ServiceConfig(cache_dir=cache_dir))
 
 
-def _validate_cache_dir(args) -> None:
+def _validate_cache_dir(args, write: bool = True) -> None:
     """Fail the cache subcommands with a structured message (not a
-    traceback) when an explicit ``--cache-dir`` cannot be used."""
+    traceback) when an explicit ``--cache-dir`` cannot be used.
+
+    ``write=False`` skips the writability check: inspection commands
+    (``cache stats``, ``tune --show``) are valid against a read-only
+    legacy store, which :class:`ArtifactStore` explicitly serves."""
     from repro.errors import ConfigurationError
 
     explicit = getattr(args, "cache_dir", None)
@@ -194,7 +198,7 @@ def _validate_cache_dir(args) -> None:
         raise ConfigurationError(f"cache path {path} is not a directory")
     if not os.access(path, os.R_OK | os.X_OK):
         raise ConfigurationError(f"cache directory {path} is not readable")
-    if not os.access(path, os.W_OK):
+    if write and not os.access(path, os.W_OK):
         raise ConfigurationError(f"cache directory {path} is not writable")
 
 
@@ -409,7 +413,7 @@ def cmd_perf(args) -> int:
 def cmd_tune(args) -> int:
     from repro import api
 
-    _validate_cache_dir(args)
+    _validate_cache_dir(args, write=not getattr(args, "show", False))
     service = _service_from_args(args)
     if args.show:
         rows = [r.describe() for r in service.tuning_store.records()]
@@ -480,7 +484,7 @@ def cmd_tune(args) -> int:
 
 
 def cmd_cache_stats(args) -> int:
-    _validate_cache_dir(args)
+    _validate_cache_dir(args, write=False)
     service = _service_from_args(args)
     report = service.stats()
     if args.json:

@@ -144,7 +144,9 @@ class Client:
                 self._sock.sendall(request.encode())
                 line = self._rfile.readline(MAX_FRAME_BYTES + 1)
             except OSError as exc:
-                self.close()
+                # The lock is held here; close() would re-take it and
+                # deadlock, so tear the connection down lock-free.
+                self._close_unlocked()
                 raise ServeError(f"connection to daemon lost: {exc}") from exc
             self.requests_sent += 1
         if not line:
@@ -202,9 +204,15 @@ class Client:
 
     def close(self) -> None:
         with self._lock:
-            rfile, sock = self._rfile, self._sock
-            self._rfile = None
-            self._sock = None
+            self._close_unlocked()
+
+    def _close_unlocked(self) -> None:
+        """Close without touching ``self._lock`` — the lock is *not*
+        reentrant, so error paths inside ``request_response`` (which
+        already hold it) must use this instead of :meth:`close`."""
+        rfile, sock = self._rfile, self._sock
+        self._rfile = None
+        self._sock = None
         for closable in (rfile, sock):
             if closable is not None:
                 try:

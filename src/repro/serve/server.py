@@ -23,6 +23,10 @@ restart.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
+import os
+import socket
+import stat
 import threading
 import time
 from dataclasses import dataclass, field
@@ -44,6 +48,44 @@ from repro.service import CompileService, ServiceConfig
 
 #: Address of a listening server: a unix-socket path or ``(host, port)``.
 Address = Union[str, Tuple[str, int]]
+
+
+def _clear_stale_unix_socket(path: str) -> None:
+    """Remove a socket file left behind by a crashed/killed daemon.
+
+    ``asyncio.start_unix_server`` fails with ``EADDRINUSE`` when the
+    path exists, even though nothing is listening — after a SIGKILL the
+    file always lingers.  Probe it: a refused connection proves the old
+    daemon is gone (safe to unlink); a successful one proves a live
+    daemon owns the address (a real conflict, reported structurally).
+    """
+    try:
+        mode = os.stat(path).st_mode
+    except FileNotFoundError:
+        return
+    if not stat.S_ISSOCK(mode):
+        raise ConfigurationError(
+            f"socket path {path!r} exists and is not a socket"
+        )
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(1.0)
+    try:
+        probe.connect(path)
+    except (ConnectionRefusedError, FileNotFoundError):
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot probe existing socket {path!r}: {exc}"
+        ) from exc
+    else:
+        raise ConfigurationError(
+            f"socket {path!r} is in use by a live daemon"
+        )
+    finally:
+        probe.close()
 
 
 @dataclass(frozen=True)
@@ -126,6 +168,7 @@ class KernelServer:
         if self._server is not None:
             raise ConfigurationError("server is already started")
         if self.config.socket_path is not None:
+            _clear_stale_unix_socket(self.config.socket_path)
             self._server = await asyncio.start_unix_server(
                 self._handle_connection,
                 path=self.config.socket_path,
@@ -564,7 +607,13 @@ class ServerHandle:
             )
             try:
                 future.result(timeout=timeout)
-            except (asyncio.TimeoutError, RuntimeError, TimeoutError):
+            except (
+                asyncio.TimeoutError,
+                # Distinct from builtin TimeoutError before Python 3.11.
+                concurrent.futures.TimeoutError,
+                RuntimeError,
+                TimeoutError,
+            ):
                 pass
         self._thread.join(timeout=timeout)
 

@@ -49,6 +49,7 @@ class WorkerPool:
         self.workers = workers
         self.executed: Dict[str, int] = {p: 0 for p in PRIORITIES}
         self.failed = 0
+        self.cancelled = 0
         self._active = 0
         self._cond = threading.Condition()
         self._threads = [
@@ -112,18 +113,24 @@ class WorkerPool:
                 return
             with self._cond:
                 self._active += 1
+            ran = False
             try:
-                if not job.future.set_running_or_notify_cancel():
-                    continue
-                try:
-                    job.future.set_result(job.fn())
-                except BaseException as exc:  # delivered via the future
-                    self.failed += 1
-                    job.future.set_exception(exc)
+                if job.future.set_running_or_notify_cancel():
+                    ran = True
+                    try:
+                        job.future.set_result(job.fn())
+                    except BaseException as exc:  # delivered via the future
+                        self.failed += 1
+                        job.future.set_exception(exc)
             finally:
                 with self._cond:
                     self._active -= 1
-                    self.executed[job.priority] += 1
+                    # Jobs whose future was cancelled before they ran
+                    # must not inflate the per-class fairness counters.
+                    if ran:
+                        self.executed[job.priority] += 1
+                    else:
+                        self.cancelled += 1
                     self._cond.notify_all()
 
     def stats(self) -> Dict[str, object]:
@@ -133,6 +140,7 @@ class WorkerPool:
             "workers": self.workers,
             "active": active,
             "failed": self.failed,
+            "cancelled": self.cancelled,
             "executed": dict(self.executed),
             "queue": self.queue.stats(),
         }

@@ -183,7 +183,13 @@ class ArtifactStore:
                 return None
             self.verified_on_load += 1
             self.bump_persistent_stats({"verified_on_load": 1})
-            self.put(key, program)
+            try:
+                # Self-heal persists the report so the proof runs once per
+                # store — skippable on a read-only store (the verified
+                # program is still served; the next process re-proves).
+                self.put(key, program)
+            except OSError:
+                pass
         self.disk_hits += 1
         return program
 
@@ -219,8 +225,12 @@ class ArtifactStore:
         except OSError:
             # Quarantine is best-effort; never let it turn a cache miss
             # into a hard failure.  Fall back to deleting the artifact so
-            # the corrupt bytes cannot be served again.
-            path.unlink(missing_ok=True)
+            # the corrupt bytes cannot be served again (also best-effort:
+            # on a read-only store even the unlink is denied).
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
         self.quarantined += 1
         self.bump_persistent_stats({"quarantined": 1})
 
@@ -269,7 +279,12 @@ class ArtifactStore:
             if delta:
                 totals[name] = totals.get(name, 0) + delta
         totals["updated"] = time.time()
-        self._atomic_write(self.root / _STATS_FILE, json.dumps(totals, sort_keys=True))
+        try:
+            self._atomic_write(
+                self.root / _STATS_FILE, json.dumps(totals, sort_keys=True)
+            )
+        except OSError:
+            pass  # read-only store: counters stay session-local
         return totals
 
     # -- helpers -----------------------------------------------------------

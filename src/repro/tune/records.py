@@ -136,7 +136,14 @@ class TuningRecordStore:
     def __init__(self, root: Optional[Path] = None) -> None:
         self.root = Path(root) if root is not None else None
         if self.root is not None:
-            self.root.mkdir(parents=True, exist_ok=True)
+            try:
+                self.root.mkdir(parents=True, exist_ok=True)
+            except OSError:
+                # Read-only cache dir: serve existing records if the
+                # directory is already there, else degrade to memory-only
+                # (inspection commands must work against legacy stores).
+                if not self.root.is_dir():
+                    self.root = None
         self._memory: Dict[str, TuningRecord] = {}
         self._journals: Dict[str, Dict[str, float]] = {}
         self.hits = 0

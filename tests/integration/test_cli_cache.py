@@ -116,3 +116,40 @@ def test_compile_twice_hits_disk(capsys, cache_dir, tmp_path):
     assert (tmp_path / "one" / "gemm_cpe.c").read_text() == (
         tmp_path / "two" / "gemm_cpe.c"
     ).read_text()
+
+
+def test_stats_works_on_readonly_cache_dir(capsys, cache_dir):
+    """`cache stats` is an inspection command: it must serve a read-only
+    (e.g. shared/legacy) store instead of demanding writability."""
+    import os
+    from pathlib import Path
+
+    if os.geteuid() == 0:
+        pytest.skip("root ignores directory permissions")
+    assert main(["--cache-dir", cache_dir, "compile",
+                 "-o", str(Path(cache_dir).parent / "out")]) == 0
+    capsys.readouterr()
+    path = Path(cache_dir)
+    path.chmod(0o500)
+    try:
+        assert main(["--cache-dir", cache_dir, "cache", "stats"]) == 0
+    finally:
+        path.chmod(0o700)
+    assert "artifacts :" in capsys.readouterr().out
+
+
+def test_warmup_still_requires_writable_cache_dir(capsys, cache_dir):
+    import os
+    from pathlib import Path
+
+    if os.geteuid() == 0:
+        pytest.skip("root ignores directory permissions")
+    path = Path(cache_dir)
+    path.mkdir()
+    path.chmod(0o500)
+    try:
+        code = main(["--cache-dir", cache_dir, "cache", "warmup"])
+    finally:
+        path.chmod(0o700)
+    assert code == 1
+    assert "not writable" in capsys.readouterr().err

@@ -288,3 +288,91 @@ def test_warmup_op_reports_kernel_set(daemon):
         result = client.warmup()
         assert result["kernels"] == 7
         assert result["compiled"] + result["cached"] == 7
+
+
+def test_stale_unix_socket_is_cleared(tmp_path):
+    """A socket file left by a SIGKILLed daemon must not block restart."""
+    path = str(tmp_path / "swgemm.sock")
+    stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    stale.bind(path)  # bound but never listening — exactly what a crash leaves
+    stale.close()
+    assert (tmp_path / "swgemm.sock").exists()
+    handle = start_in_thread(
+        CompileService(ServiceConfig()),
+        ServeConfig(socket_path=path, workers=1, quota=None),
+    )
+    try:
+        with Client(path, tenant="t") as client:
+            assert client.ping()["pong"]
+    finally:
+        handle.stop()
+
+
+def test_live_unix_socket_is_a_conflict(tmp_path):
+    """A second daemon on a socket owned by a live one fails cleanly."""
+    from repro.errors import ConfigurationError
+
+    path = str(tmp_path / "swgemm.sock")
+    handle = start_in_thread(
+        CompileService(ServiceConfig()),
+        ServeConfig(socket_path=path, workers=1, quota=None),
+    )
+    try:
+        with pytest.raises(ConfigurationError, match="live daemon"):
+            start_in_thread(
+                CompileService(ServiceConfig()),
+                ServeConfig(socket_path=path, workers=1, quota=None),
+            )
+    finally:
+        handle.stop()
+
+
+def test_socket_path_occupied_by_regular_file(tmp_path):
+    from repro.errors import ConfigurationError
+
+    path = tmp_path / "swgemm.sock"
+    path.write_text("occupied")
+    with pytest.raises(ConfigurationError, match="not a socket"):
+        start_in_thread(
+            CompileService(ServiceConfig()),
+            ServeConfig(socket_path=str(path), workers=1, quota=None),
+        )
+    assert path.read_text() == "occupied"  # never clobbered
+
+
+def test_read_timeout_raises_serve_error_not_deadlock():
+    """A server that accepts but never answers must produce a ServeError
+    on timeout — the error path runs under the client lock, and closing
+    there used to re-take the (non-reentrant) lock and hang forever."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    accepted = []
+
+    def accept_and_hold():
+        conn, _ = listener.accept()
+        accepted.append(conn)  # keep it open; never write a byte
+
+    acceptor = threading.Thread(target=accept_and_hold, daemon=True)
+    acceptor.start()
+    outcome = {}
+
+    def do_request():
+        client = Client(listener.getsockname(), tenant="t", timeout=0.5)
+        try:
+            client.ping()
+        except ServeError as exc:
+            outcome["error"] = exc
+        finally:
+            client.close()  # idempotent even after the error-path close
+
+    worker = threading.Thread(target=do_request, daemon=True)
+    worker.start()
+    worker.join(timeout=10.0)
+    try:
+        assert not worker.is_alive(), "client deadlocked on timeout"
+        assert "connection to daemon lost" in str(outcome["error"])
+    finally:
+        for conn in accepted:
+            conn.close()
+        listener.close()

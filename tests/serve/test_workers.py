@@ -1,0 +1,39 @@
+"""WorkerPool accounting: cancelled jobs must not pollute the
+per-priority-class execution counters the fairness stats report."""
+
+import threading
+
+from repro.serve.workers import WorkerPool
+
+
+def test_cancelled_job_not_counted_as_executed():
+    gate = threading.Event()
+    pool = WorkerPool(1, name="test-cancel")
+    try:
+        blocker = pool.submit(lambda: gate.wait(timeout=30.0), priority="interactive")
+        victim = pool.submit(lambda: "never runs", priority="batch")
+        assert victim.cancel()  # still queued behind the blocker
+        gate.set()
+        assert blocker.result(timeout=10.0)
+        assert pool.drain(timeout=10.0)
+        stats = pool.stats()
+        assert stats["executed"]["interactive"] == 1
+        assert stats["executed"]["batch"] == 0
+        assert stats["cancelled"] == 1
+        assert stats["failed"] == 0
+    finally:
+        gate.set()
+        pool.shutdown(drain=False, timeout=10.0)
+
+
+def test_executed_counts_only_jobs_that_ran():
+    pool = WorkerPool(2, name="test-exec")
+    try:
+        futures = [pool.submit(lambda i=i: i, priority="warmup") for i in range(5)]
+        assert [f.result(timeout=10.0) for f in futures] == list(range(5))
+        assert pool.drain(timeout=10.0)
+        stats = pool.stats()
+        assert stats["executed"]["warmup"] == 5
+        assert stats["cancelled"] == 0
+    finally:
+        pool.shutdown(drain=False, timeout=10.0)
