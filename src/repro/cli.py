@@ -521,6 +521,11 @@ def cmd_cache_stats(args) -> int:
     qfiles = int(disk.get("quarantine_files", 0))
     if qfiles:
         print(f"  {'in quarantine dir':>18s}: {qfiles}")
+    poison = disk.get("poison_keys") or []
+    if poison:
+        print(f"  {'poisoned keys':>18s}: {len(poison)}")
+        for key in poison:
+            print(f"  {'':>18s}  {key[:16]}… (circuit breaker open)")
     seconds = float(persistent.get("compile_seconds", 0.0))
     print(f"  {'compile seconds':>18s}: {seconds:.3f}")
     hits = int(persistent.get("memory_hits", 0)) + int(persistent.get("disk_hits", 0))
@@ -612,6 +617,11 @@ def cmd_serve(args) -> int:
             workers=args.workers,
             quota=quota,
             max_requests=args.max_requests,
+            isolation=args.isolation,
+            journal_dir=args.journal_dir,
+            poison_threshold=args.poison_threshold,
+            worker_deadline_s=args.worker_deadline,
+            memory_budget_mb=args.memory_budget_mb,
         ),
     )
 
@@ -622,10 +632,18 @@ def cmd_serve(args) -> int:
             "off" if quota is None
             else f"{quota.capacity:g} tokens @ {quota.refill_per_s:g}/s per tenant"
         )
+        journal = "off" if args.journal_dir is None else args.journal_dir
         print(
             f"swgemm serve: listening on {shown} "
-            f"(workers={args.workers}, quotas={quotas})"
+            f"(workers={args.workers}, quotas={quotas}, "
+            f"isolation={args.isolation}, journal={journal})"
         )
+        replay = server._replay_remaining
+        if replay:
+            print(
+                f"swgemm serve: replaying {replay} journaled request(s) "
+                "from the previous run"
+            )
         sys.stdout.flush()
         if args.ready_file:
             # Machine-readable rendezvous for scripts that let the OS
@@ -655,10 +673,19 @@ def cmd_serve(args) -> int:
 
     asyncio.run(_serve())
     counters = server.counters
+    recovery = ""
+    if args.journal_dir is not None or args.isolation == "process":
+        iso = server.isolation.stats() if server.isolation else {}
+        recovery = (
+            f", {counters['replayed']} replayed, "
+            f"{iso.get('restarts', 0)} worker restart(s), "
+            f"{len((iso.get('poison') or {}).get('quarantined', []))} "
+            "quarantined key(s)"
+        )
     print(
         f"swgemm serve: drained and stopped after {counters['requests']} "
         f"request(s) ({counters['quota_rejected']} quota-rejected, "
-        f"{counters['errors']} failed)"
+        f"{counters['errors']} failed{recovery})"
     )
     if args.socket:
         Path(args.socket).unlink(missing_ok=True)
@@ -863,6 +890,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--warmup", action="store_true",
         help="precompile the standard kernels on boot (at warmup priority)",
+    )
+    p_serve.add_argument(
+        "--isolation", choices=("thread", "process"), default="thread",
+        help="where compile jobs run: in-process threads, or recyclable "
+        "worker subprocesses with deadlines and poison-key quarantine "
+        "(default: thread)",
+    )
+    p_serve.add_argument(
+        "--journal-dir", metavar="DIR",
+        help="write-ahead journal directory; accepted requests are "
+        "replayed after a crash (default: journaling off)",
+    )
+    p_serve.add_argument(
+        "--poison-threshold", type=int, default=3, metavar="N",
+        help="worker crashes/timeouts before a kernel key is "
+        "quarantined (default: 3)",
+    )
+    p_serve.add_argument(
+        "--worker-deadline", type=float, default=30.0, metavar="SECONDS",
+        help="wall-clock deadline of one isolated compile job; a hung "
+        "worker is killed and replaced (default: 30)",
+    )
+    p_serve.add_argument(
+        "--memory-budget-mb", type=float, default=None, metavar="MIB",
+        help="peak-RSS budget of one isolated compile job; an "
+        "over-budget worker is recycled (default: unlimited)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -197,3 +197,27 @@ class QuotaExceededError(ServeError):
 class ServerDrainingError(ServeError):
     """Raised when a request arrives while the daemon is gracefully
     draining: queued work still completes, but no new work is accepted."""
+
+
+class WorkerCrashError(ServeError):
+    """Raised when an isolated compile worker dies (or is killed) before
+    delivering a result: a hard crash (``SystemExit``/signal), a hung
+    job past its wall-clock deadline, or a memory-budget overrun.  The
+    worker subprocess is reaped and replaced; the offending cache key
+    collects a strike toward quarantine."""
+
+    def __init__(self, message: str, key: str = "") -> None:
+        super().__init__(message)
+        self.key = key
+
+
+class PoisonedKernelError(ServeError):
+    """Raised when a cache key has crashed its isolated worker often
+    enough to trip the poison-key circuit breaker.  Callers get this
+    structured refusal instead of feeding a retry storm; after the
+    cooldown one half-open trial compile may clear the quarantine."""
+
+    def __init__(self, message: str, key: str = "", strikes: int = 0) -> None:
+        super().__init__(message)
+        self.key = key
+        self.strikes = strikes

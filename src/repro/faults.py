@@ -92,6 +92,15 @@ class FaultPolicy:
     latency_spike_factor: float = 8.0
     #: Probability that an artifact-store write lands truncated on disk.
     artifact_corruption_rate: float = 0.0
+    #: Probability that one isolated compile hard-crashes its worker
+    #: subprocess (``SystemExit`` mid-codegen — the segfault-equivalent
+    #: the serving daemon's process isolation must contain).
+    compile_crash_rate: float = 0.0
+    #: Probability that one isolated compile hangs for
+    #: ``compile_hang_s`` wall-clock seconds before doing any work, so
+    #: the daemon's per-job deadline must hard-kill the worker.
+    compile_hang_rate: float = 0.0
+    compile_hang_s: float = 30.0
     #: Ranks of the multi-cluster driver that fail before computing; the
     #: driver reassigns their C-blocks to healthy ranks (degraded mode).
     dead_ranks: Tuple[int, ...] = ()
@@ -114,8 +123,14 @@ class FaultPolicy:
             "reply_drop_rate",
             "latency_spike_rate",
             "artifact_corruption_rate",
+            "compile_crash_rate",
+            "compile_hang_rate",
         ):
             _check_rate(name, getattr(self, name))
+        if self.compile_hang_s < 0:
+            raise ConfigurationError(
+                f"compile_hang_s must be >= 0, got {self.compile_hang_s}"
+            )
         if self.latency_spike_factor < 1.0:
             raise ConfigurationError(
                 f"latency_spike_factor must be >= 1, got {self.latency_spike_factor}"
@@ -271,6 +286,14 @@ class FaultInjector:
 
     def drops_reply(self, site: str) -> bool:
         return self._hit(self.policy.reply_drop_rate, f"{site}_reply_drop")
+
+    def compile_crash(self) -> bool:
+        """One isolated compile hard-crashes its worker subprocess."""
+        return self._hit(self.policy.compile_crash_rate, "compile_crash")
+
+    def compile_hang(self) -> bool:
+        """One isolated compile stalls past its wall-clock deadline."""
+        return self._hit(self.policy.compile_hang_rate, "compile_hang")
 
     def latency_factor(self, site: str) -> float:
         if self._hit(self.policy.latency_spike_rate, f"{site}_latency_spike"):

@@ -11,12 +11,19 @@ blocking worker pool, and a blocking client.  Layers:
 * :mod:`repro.serve.queue` / :mod:`repro.serve.workers` — the fair
   priority queue and the worker pool draining it;
 * :mod:`repro.serve.quotas` — per-tenant token buckets;
+* :mod:`repro.serve.isolation` — recyclable compile worker
+  subprocesses with deadlines, memory budgets and the poison-key
+  circuit breaker;
+* :mod:`repro.serve.journal` — the fsync'd write-ahead request journal
+  replayed after a crash;
 * :mod:`repro.serve.server` — :class:`KernelServer`, the daemon;
 * :mod:`repro.serve.client` — :class:`Client`, the blocking caller
   (re-exported as ``repro.api.Client`` / ``repro.api.connect``).
 """
 
-from repro.serve.client import Client, RemoteError
+from repro.serve.client import IDEMPOTENT_OPS, Client, RemoteError
+from repro.serve.isolation import CircuitBreaker, ProcessIsolation
+from repro.serve.journal import RequestJournal
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     OPS,
@@ -29,6 +36,7 @@ from repro.serve.protocol import (
 from repro.serve.queue import DEFAULT_PRIORITY, PRIORITIES, FairPriorityQueue
 from repro.serve.quotas import DEFAULT_COSTS, QuotaConfig, QuotaManager
 from repro.serve.server import (
+    JOURNALED_OPS,
     KernelServer,
     ServeConfig,
     ServerHandle,
@@ -37,19 +45,24 @@ from repro.serve.server import (
 from repro.serve.workers import WorkerPool
 
 __all__ = [
+    "CircuitBreaker",
     "Client",
     "DEFAULT_COSTS",
     "DEFAULT_PRIORITY",
     "FairPriorityQueue",
+    "IDEMPOTENT_OPS",
+    "JOURNALED_OPS",
     "KernelServer",
     "MAX_FRAME_BYTES",
     "OPS",
     "PRIORITIES",
     "PROTOCOL_VERSION",
+    "ProcessIsolation",
     "QuotaConfig",
     "QuotaManager",
     "RemoteError",
     "Request",
+    "RequestJournal",
     "Response",
     "ServeConfig",
     "ServerHandle",

@@ -16,16 +16,20 @@ generator does.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
+import time
 import uuid
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.errors import (
+    PoisonedKernelError,
     ProtocolError,
     QuotaExceededError,
     ServeError,
     ServerDrainingError,
+    WorkerCrashError,
 )
 from repro.serve.protocol import (
     DEFAULT_PRIORITY,
@@ -43,7 +47,18 @@ _ERROR_TYPES = {
     "QuotaExceededError": QuotaExceededError,
     "ServerDrainingError": ServerDrainingError,
     "ProtocolError": ProtocolError,
+    "WorkerCrashError": WorkerCrashError,
+    "PoisonedKernelError": PoisonedKernelError,
 }
+
+#: Ops safe to resend after a dropped connection: read-only probes plus
+#: the kernel verbs, which are content-addressed and therefore
+#: idempotent (a resent compile is at worst a cache hit).  ``shutdown``
+#: is deliberately absent — resending it could kill a *restarted*
+#: daemon.
+IDEMPOTENT_OPS = frozenset(
+    {"ping", "stats", "compile", "run", "tune", "verify", "warmup"}
+)
 
 
 class RemoteError(ServeError):
@@ -80,14 +95,26 @@ class Client:
         address: Address,
         tenant: str = "default",
         timeout: Optional[float] = 30.0,
+        retry: bool = True,
+        retry_backoff_s: float = 0.05,
+        _sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.address = address
         self.tenant = tenant
         self.timeout = timeout
+        #: retry idempotent ops once after a dropped connection (a
+        #: worker-recycle or daemon-restart blip); ``shutdown`` and any
+        #: op outside :data:`IDEMPOTENT_OPS` never retries.
+        self.retry = retry
+        self.retry_backoff_s = retry_backoff_s
+        self._sleep = _sleep
+        self._rng = random.Random()
         self._lock = threading.Lock()
         self._sock: Optional[socket.socket] = None
         self._rfile = None
         self.requests_sent = 0
+        self.retries = 0
+        self._closed = False
         self._connect()
 
     def _connect(self) -> None:
@@ -137,23 +164,39 @@ class Client:
             priority=priority,
             params=dict(params or {}),
         )
+        attempts = 2 if (self.retry and op in IDEMPOTENT_OPS) else 1
         with self._lock:
-            if self._sock is None or self._rfile is None:
+            if self._closed:
                 raise ServeError("client is closed")
-            try:
-                self._sock.sendall(request.encode())
-                line = self._rfile.readline(MAX_FRAME_BYTES + 1)
-            except OSError as exc:
-                # The lock is held here; close() would re-take it and
-                # deadlock, so tear the connection down lock-free.
-                self._close_unlocked()
-                raise ServeError(f"connection to daemon lost: {exc}") from exc
+            line = b""
+            for attempt in range(attempts):
+                try:
+                    if self._sock is None or self._rfile is None:
+                        # Reconnect after a loss the previous request
+                        # tore down (worker recycle, daemon restart).
+                        self._connect()
+                    self._sock.sendall(request.encode())
+                    line = self._rfile.readline(MAX_FRAME_BYTES + 1)
+                    if not line:
+                        raise ConnectionResetError(
+                            "daemon closed the connection without responding"
+                        )
+                    break
+                except OSError as exc:
+                    # The lock is held here; close() would re-take it
+                    # and deadlock, so tear the connection down
+                    # lock-free.  Idempotent ops get one resend with
+                    # jittered backoff; anything else surfaces the loss.
+                    self._close_unlocked()
+                    if attempt + 1 >= attempts:
+                        raise ServeError(
+                            f"connection to daemon lost: {exc}"
+                        ) from exc
+                    self.retries += 1
+                    self._sleep(
+                        self.retry_backoff_s * (0.5 + self._rng.random())
+                    )
             self.requests_sent += 1
-        if not line:
-            self.close()
-            raise ServeError(
-                "daemon closed the connection without responding"
-            )
         response = Response.decode(line)
         if response.id not in (request.id, None):
             raise ProtocolError(
@@ -204,6 +247,7 @@ class Client:
 
     def close(self) -> None:
         with self._lock:
+            self._closed = True
             self._close_unlocked()
 
     def _close_unlocked(self) -> None:

@@ -49,6 +49,12 @@ from repro.service import CompileService, ServiceConfig
 #: Address of a listening server: a unix-socket path or ``(host, port)``.
 Address = Union[str, Tuple[str, int]]
 
+#: Ops the write-ahead journal covers: the blocking kernel verbs whose
+#: loss a tenant would notice.  ``ping``/``stats`` are free to re-issue,
+#: ``shutdown`` must not outlive the daemon, and ``warmup`` re-derives
+#: its own work list, so none of them are journaled.
+JOURNALED_OPS = frozenset({"compile", "run", "tune", "verify"})
+
 
 def _clear_stale_unix_socket(path: str) -> None:
     """Remove a socket file left behind by a crashed/killed daemon.
@@ -106,6 +112,21 @@ class ServeConfig:
     #: Stop (with drain) after this many requests; ``None`` = run until
     #: told.  Lets scripts and CI bound a daemon without signal games.
     max_requests: Optional[int] = None
+    #: ``"thread"`` runs compiles on the in-process pool (PR 6
+    #: behaviour); ``"process"`` moves them into recyclable worker
+    #: subprocesses with deadlines, memory budgets and the poison-key
+    #: circuit breaker (:mod:`repro.serve.isolation`).
+    isolation: str = "thread"
+    #: Directory of the write-ahead request journal; ``None`` disables
+    #: journaling (an accepted request then dies with the daemon).
+    journal_dir: Optional[str] = None
+    #: Worker crashes/timeouts before a cache key is quarantined.
+    poison_threshold: int = 3
+    #: Wall-clock deadline of one isolated compile job, seconds.
+    worker_deadline_s: float = 30.0
+    #: Peak-RSS budget of one isolated compile job, MiB; ``None``
+    #: disables the check.
+    memory_budget_mb: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -114,6 +135,24 @@ class ServeConfig:
             raise ConfigurationError("drain_timeout_s must be >= 0")
         if self.max_requests is not None and self.max_requests < 1:
             raise ConfigurationError("max_requests must be >= 1 or None")
+        if self.isolation not in ("thread", "process"):
+            raise ConfigurationError(
+                f"isolation must be 'thread' or 'process', got "
+                f"{self.isolation!r}"
+            )
+        if self.poison_threshold < 1:
+            raise ConfigurationError(
+                f"poison_threshold must be >= 1, got {self.poison_threshold}"
+            )
+        if self.worker_deadline_s <= 0:
+            raise ConfigurationError(
+                f"worker_deadline_s must be > 0, got {self.worker_deadline_s}"
+            )
+        if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
+            raise ConfigurationError(
+                f"memory_budget_mb must be > 0 or None, got "
+                f"{self.memory_budget_mb}"
+            )
 
 
 class KernelServer:
@@ -134,6 +173,32 @@ class KernelServer:
         # pool, so it can never starve interactive requests.
         self.service.attach_worker_pool(self.pool)
         self.quotas = QuotaManager(self.config.quota)
+        self.isolation = None
+        if self.config.isolation == "process":
+            from repro.serve.isolation import ProcessIsolation
+
+            cache_dir = self.service.config.cache_dir
+            self.isolation = ProcessIsolation(
+                workers=self.config.workers,
+                deadline_s=self.config.worker_deadline_s,
+                memory_budget_mb=self.config.memory_budget_mb,
+                poison_threshold=self.config.poison_threshold,
+                state_path=(
+                    cache_dir / "poison-keys.json"
+                    if cache_dir is not None
+                    else None
+                ),
+            )
+            self.service.set_compile_fn(self.isolation.compile)
+        self.journal = None
+        self._replay_entries: list = []
+        if self.config.journal_dir is not None:
+            from repro.serve.journal import RequestJournal
+
+            self.journal = RequestJournal(self.config.journal_dir)
+            self._replay_entries = self.journal.pending()
+        self._replay_remaining = len(self._replay_entries)
+        self._replay_task: Optional[asyncio.Task] = None
         self.started_at = time.monotonic()
         self.counters: Dict[str, int] = {
             "connections": 0,
@@ -143,6 +208,10 @@ class KernelServer:
             "protocol_errors": 0,
             "quota_rejected": 0,
             "drain_rejected": 0,
+            "journaled": 0,
+            "journal_dropped": 0,
+            "replayed": 0,
+            "replay_failed": 0,
         }
         self.op_counts: Dict[str, int] = {}
         self.priority_counts: Dict[str, int] = {}
@@ -184,6 +253,14 @@ class KernelServer:
             )
             sock = self._server.sockets[0].getsockname()
             self._address = (sock[0], sock[1])
+        if self._replay_entries:
+            # Requests journaled by a killed predecessor: re-dispatch
+            # them concurrently through the normal blocking path.  The
+            # content-addressed cache makes re-running already-finished
+            # work a hit, so replay is exactly-once per kernel artifact.
+            self._replay_task = asyncio.get_running_loop().create_task(
+                self._replay_journal()
+            )
         return self._address
 
     async def serve_until_stopped(self) -> None:
@@ -227,6 +304,12 @@ class KernelServer:
         )
         for writer in list(self._writers):
             writer.close()
+        if self._replay_task is not None and not self._replay_task.done():
+            self._replay_task.cancel()
+        if self.isolation is not None:
+            await loop.run_in_executor(None, self.isolation.close)
+        if self.journal is not None:
+            self.journal.close()
         self._stopped.set()
 
     def _request_stop(self, drain: bool = True) -> None:
@@ -333,6 +416,18 @@ class KernelServer:
                 ),
                 meta,
             )
+        lsn = None
+        if self.journal is not None and request.op in JOURNALED_OPS:
+            # Write-ahead: the request is durable *before* it runs, so a
+            # daemon killed mid-job replays it on the next boot.  The
+            # completion tombstone lands before the response is sent —
+            # an acknowledged request is therefore never replayed as
+            # pending *and* never lost.
+            lsn = self.journal.record_accepted(request.to_dict())
+            if lsn is None:
+                self.counters["journal_dropped"] += 1
+            else:
+                self.counters["journaled"] += 1
         try:
             if request.op == "ping":
                 result = self._op_ping()
@@ -343,12 +438,59 @@ class KernelServer:
                 self._request_stop(drain=bool(request.params.get("drain", True)))
             else:
                 result = await self._dispatch_blocking(request, meta, received)
+            if lsn is not None:
+                self.journal.record_completed(lsn, ok=True)
             elapsed_ms = 1e3 * (time.perf_counter() - received)
             meta["server_ms"] = round(elapsed_ms, 3)
             return Response(id=request.id, ok=True, result=result, meta=meta)
         except BaseException as exc:  # answered, never crashes the daemon
+            # A deterministic failure is as answered as a success: mark
+            # it completed so restart does not replay a poison pill.
+            if lsn is not None:
+                self.journal.record_completed(lsn, ok=False)
             self.counters["errors"] += 1
             return Response.failure(request.id, exc, meta)
+
+    # -- journal replay ------------------------------------------------------
+
+    async def _replay_journal(self) -> None:
+        entries, self._replay_entries = self._replay_entries, []
+        await asyncio.gather(
+            *(self._replay_one(lsn, body) for lsn, body in entries),
+            return_exceptions=True,
+        )
+
+    async def _replay_one(self, lsn: int, body: Dict[str, Any]) -> None:
+        ok = False
+        try:
+            try:
+                request = Request.from_dict(body)
+            except ProtocolError:
+                # Journaled by a newer/older daemon, or hand-edited:
+                # tombstone it so it cannot wedge every future boot.
+                self.counters["replay_failed"] += 1
+                return
+            meta: Dict[str, Any] = {
+                "op": request.op,
+                "tenant": request.tenant,
+                "priority": request.priority,
+                "replayed": True,
+            }
+            self.counters["replayed"] += 1
+            try:
+                await self._dispatch_blocking(
+                    request, meta, time.perf_counter()
+                )
+                ok = True
+            except BaseException:
+                # Failure answers the replay too (PoisonedKernelError,
+                # CompileTimeout, …) — at-least-once ends here, never in
+                # a retry storm.
+                self.counters["replay_failed"] += 1
+        finally:
+            if self.journal is not None:
+                self.journal.record_completed(lsn, ok=ok)
+            self._replay_remaining -= 1
 
     async def _dispatch_blocking(
         self, request: Request, meta: Dict[str, Any], received: float
@@ -537,6 +679,19 @@ class KernelServer:
             "priorities": dict(self.priority_counts),
             "pool": self.pool.stats(),
             "quota": self.quotas.stats(),
+            "isolation": (
+                self.isolation.stats()
+                if self.isolation is not None
+                else {"mode": "thread"}
+            ),
+            "journal": (
+                {
+                    **self.journal.stats(),
+                    "replay_pending": self._replay_remaining,
+                }
+                if self.journal is not None
+                else None
+            ),
         }
 
 

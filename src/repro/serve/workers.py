@@ -50,10 +50,13 @@ class WorkerPool:
         self.executed: Dict[str, int] = {p: 0 for p in PRIORITIES}
         self.failed = 0
         self.cancelled = 0
+        self.restarted = 0
         self._active = 0
         self._cond = threading.Condition()
         self._threads = [
-            threading.Thread(target=self._run, name=f"{name}-{i}", daemon=True)
+            threading.Thread(
+                target=self._run_forever, name=f"{name}-{i}", daemon=True
+            )
             for i in range(workers)
         ]
         for thread in self._threads:
@@ -106,6 +109,23 @@ class WorkerPool:
 
     # -- worker loop ---------------------------------------------------------
 
+    def _run_forever(self) -> None:
+        """Keep one worker slot alive across dispatch-loop failures.
+
+        ``_run`` already routes job exceptions into their futures; the
+        loop itself can still die on pathological cases (a future whose
+        state was corrupted, interpreter shutdown races).  Losing the
+        thread would silently shrink the pool for the daemon's whole
+        lifetime, so the slot restarts its loop and counts the event —
+        surfaced as ``restarted`` in :meth:`stats`."""
+        while True:
+            try:
+                self._run()
+                return  # queue closed and drained: orderly exit
+            except BaseException:
+                with self._cond:
+                    self.restarted += 1
+
     def _run(self) -> None:
         while True:
             job = self.queue.get()
@@ -141,6 +161,7 @@ class WorkerPool:
             "active": active,
             "failed": self.failed,
             "cancelled": self.cancelled,
+            "restarted": self.restarted,
             "executed": dict(self.executed),
             "queue": self.queue.stats(),
         }

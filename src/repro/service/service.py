@@ -230,6 +230,17 @@ class CompileService:
             spec, arch, options, timeout_s=timeout_s, shape_hint=shape_hint
         )
 
+    def set_compile_fn(self, compile_fn: CompileFn) -> None:
+        """Swap the compile function behind the cache/single-flight stack.
+
+        The serving daemon uses this seam to interpose
+        :class:`~repro.serve.isolation.ProcessIsolation`: compilation
+        moves into recyclable worker subprocesses while every layer
+        above — content-addressed keys, the two cache tiers, the
+        in-flight rendezvous, admission — stays unchanged."""
+        self._compile = compile_fn
+        self._compile_takes_timeout = _accepts_timeout(compile_fn)
+
     def attach_worker_pool(self, pool) -> None:
         """Share the serving daemon's priority worker pool.
 

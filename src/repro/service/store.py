@@ -40,6 +40,7 @@ from repro.runtime.program import CompiledProgram
 CACHE_DIR_ENV = "SWGEMM_CACHE_DIR"
 
 _STATS_FILE = "stats.json"
+_POISON_FILE = "poison-keys.json"
 _SUFFIX = ".json"
 _QUARANTINE_DIR = "quarantine"
 
@@ -112,7 +113,7 @@ class ArtifactStore:
         fallback in :meth:`get`."""
         moved = 0
         for path in sorted(self.root.glob(f"*{_SUFFIX}")):
-            if path.name == _STATS_FILE:
+            if path.name in (_STATS_FILE, _POISON_FILE):
                 continue
             target = self.path_for(path.stem)
             try:
@@ -140,7 +141,7 @@ class ArtifactStore:
         paths.extend(
             p
             for p in self.root.glob(f"*{_SUFFIX}")
-            if p.name != _STATS_FILE
+            if p.name not in (_STATS_FILE, _POISON_FILE)
         )
         return sorted(paths)
 
@@ -302,6 +303,20 @@ class ArtifactStore:
                 pass
             raise
 
+    def poison_keys(self) -> List[str]:
+        """Cache keys the serving daemon's circuit breaker quarantined.
+
+        The breaker (:mod:`repro.serve.isolation`) persists its state to
+        ``<cache-dir>/poison-keys.json``; reading it here lets ``swgemm
+        cache stats`` report poisoned kernels without a live daemon.
+        Best-effort: a missing or damaged file reads as empty."""
+        try:
+            data = json.loads((self.root / _POISON_FILE).read_text())
+        except (OSError, json.JSONDecodeError):
+            return []
+        keys = data.get("quarantined", []) if isinstance(data, dict) else []
+        return sorted(str(k) for k in keys) if isinstance(keys, list) else []
+
     def stats(self) -> Dict[str, object]:
         qdir = self.quarantine_dir
         quarantine_files = (
@@ -322,4 +337,5 @@ class ArtifactStore:
             "quarantine_files": quarantine_files,
             "verified_on_load": self.verified_on_load,
             "verify_rejected": self.verify_rejected,
+            "poison_keys": self.poison_keys(),
         }

@@ -1,0 +1,138 @@
+"""Client retry: one resend of idempotent ops after a connection blip.
+
+A worker recycle or daemon restart drops established connections; the
+kernel verbs are content-addressed (resending is at worst a cache hit)
+and the probes are read-only, so the client retries them exactly once
+with jittered backoff.  ``shutdown`` is not idempotent — resending it
+could kill a daemon that already restarted — so it must surface the
+loss instead.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.client import IDEMPOTENT_OPS, Client
+from repro.serve.protocol import Response
+
+
+class FlakyServer:
+    """Accepts connections; drops the first N, answers afterwards."""
+
+    def __init__(self, drop_first: int = 1) -> None:
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(8)
+        self.address = self.listener.getsockname()
+        self.drop_first = drop_first
+        self.connections = 0
+        self.requests_seen = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _ = self.listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            if self.connections <= self.drop_first:
+                # Read the request, then vanish mid-exchange — the shape
+                # of a worker-recycle / restart blip.
+                try:
+                    conn.recv(65536)
+                finally:
+                    conn.close()
+                continue
+            try:
+                data = conn.makefile("rb").readline()
+                request = json.loads(data)
+                self.requests_seen.append(request["op"])
+                conn.sendall(
+                    Response(
+                        id=request.get("id"), ok=True, result={"pong": True}
+                    ).encode()
+                )
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    def close(self) -> None:
+        self.listener.close()
+
+
+@pytest.fixture()
+def flaky():
+    server = FlakyServer(drop_first=1)
+    yield server
+    server.close()
+
+
+def test_idempotent_op_retries_once_and_succeeds(flaky):
+    sleeps = []
+    client = Client(flaky.address, timeout=5.0, _sleep=sleeps.append)
+    try:
+        assert client.ping() == {"pong": True}
+    finally:
+        client.close()
+    assert client.retries == 1
+    assert flaky.connections == 2
+    assert flaky.requests_seen == ["ping"]
+    # Jittered backoff: one sleep in (0.5, 1.5) × the base interval.
+    assert len(sleeps) == 1
+    assert 0.5 * client.retry_backoff_s <= sleeps[0] <= 1.5 * client.retry_backoff_s
+
+
+def test_shutdown_never_retries(flaky):
+    client = Client(flaky.address, timeout=5.0, _sleep=lambda _s: None)
+    try:
+        with pytest.raises(ServeError, match="connection to daemon lost"):
+            client.shutdown()
+    finally:
+        client.close()
+    assert client.retries == 0
+    assert flaky.connections == 1  # no second attempt ever went out
+
+
+def test_retry_disabled_surfaces_the_first_loss(flaky):
+    client = Client(flaky.address, timeout=5.0, retry=False,
+                    _sleep=lambda _s: None)
+    try:
+        with pytest.raises(ServeError, match="connection to daemon lost"):
+            client.ping()
+    finally:
+        client.close()
+    assert client.retries == 0
+
+
+def test_second_loss_in_a_row_surfaces():
+    server = FlakyServer(drop_first=2)
+    try:
+        client = Client(server.address, timeout=5.0, _sleep=lambda _s: None)
+        try:
+            with pytest.raises(ServeError, match="connection to daemon lost"):
+                client.ping()
+        finally:
+            client.close()
+        assert client.retries == 1
+        assert server.connections == 2
+    finally:
+        server.close()
+
+
+def test_closed_client_does_not_reconnect(flaky):
+    client = Client(flaky.address, timeout=5.0)
+    client.close()
+    with pytest.raises(ServeError, match="client is closed"):
+        client.ping()
+
+
+def test_shutdown_is_not_classified_idempotent():
+    assert "shutdown" not in IDEMPOTENT_OPS
+    for op in ("ping", "stats", "compile", "run", "verify", "tune", "warmup"):
+        assert op in IDEMPOTENT_OPS

@@ -1,0 +1,200 @@
+"""Write-ahead journal: round-trips, torn writes, rotation, degradation.
+
+The journal is only useful if recovery is *paranoid*: a ``kill -9`` can
+tear the final record mid-line, cosmic rays (or test suites) can flip a
+byte under an intact line ending, and a segment can mix both with
+perfectly healthy records.  Every damaged record must be skipped with a
+counter — never crash recovery, never resurrect a wrong request — and
+every intact record must survive bit-exactly, which the hypothesis
+round-trip asserts generatively.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.journal import (
+    RequestJournal,
+    encode_record,
+    record_crc,
+    scan_segments,
+    segment_name,
+)
+
+# JSON-safe request bodies of the shape the server journals.
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.text(max_size=20),
+)
+bodies = st.dictionaries(
+    st.text(min_size=1, max_size=12),
+    st.one_of(
+        json_scalars,
+        st.dictionaries(st.text(max_size=8), json_scalars, max_size=3),
+    ),
+    max_size=5,
+)
+
+
+# -- round-trip ---------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    accepted=st.lists(bodies, min_size=1, max_size=8),
+    completed_mask=st.lists(st.booleans(), min_size=8, max_size=8),
+)
+def test_pending_set_round_trips_across_reopen(
+    tmp_path_factory, accepted, completed_mask
+):
+    root = tmp_path_factory.mktemp("journal")
+    journal = RequestJournal(root, fsync=False)
+    lsns = [journal.record_accepted(body) for body in accepted]
+    expect_pending = {}
+    for lsn, body, done in zip(lsns, accepted, completed_mask):
+        if done:
+            journal.record_completed(lsn)
+        else:
+            expect_pending[lsn] = body
+    journal.close()
+    reopened = RequestJournal(root, fsync=False)
+    assert dict(reopened.pending()) == expect_pending
+    # Recovery-then-append keeps allocating unique, increasing lsns.
+    fresh = reopened.record_accepted({"fresh": True})
+    assert fresh > max(lsns)
+    reopened.close()
+
+
+def test_record_crc_is_stable_under_key_order():
+    record = {"lsn": 1, "type": "accepted", "body": {"b": 2, "a": 1}}
+    reordered = {"body": {"a": 1, "b": 2}, "type": "accepted", "lsn": 1}
+    assert record_crc(record) == record_crc(reordered)
+
+
+# -- torn writes and corruption ----------------------------------------------
+
+
+def _active_segment(root):
+    return sorted(root.glob("journal-*.ndjson"))[-1]
+
+
+def test_torn_trailing_record_is_skipped_with_counter(tmp_path):
+    journal = RequestJournal(tmp_path)
+    keep = journal.record_accepted({"op": "compile", "params": {"keep": 1}})
+    journal.close()
+    # kill -9 mid-write: the last record loses its tail (and newline).
+    path = _active_segment(tmp_path)
+    frame = encode_record(99, "accepted", {"op": "compile"})
+    with open(path, "ab") as handle:
+        handle.write(frame[: len(frame) // 2])
+    reopened = RequestJournal(tmp_path)
+    assert reopened.stats()["skipped_torn"] == 1
+    assert [lsn for lsn, _ in reopened.pending()] == [keep]
+    reopened.close()
+
+
+def test_flipped_crc_byte_skips_record_never_crashes(tmp_path):
+    journal = RequestJournal(tmp_path)
+    journal.record_accepted({"op": "compile", "params": {"x": 1}})
+    good = journal.record_accepted({"op": "run", "params": {}})
+    journal.close()
+    path = _active_segment(tmp_path)
+    data = path.read_bytes().replace(b'"x":1', b'"x":2', 1)  # stale CRC
+    path.write_bytes(data)
+    pending, counters = scan_segments(tmp_path)
+    assert counters["skipped_crc"] == 1
+    assert sorted(pending) == [good]
+    # Full recovery (not just the scan) tolerates it identically.
+    reopened = RequestJournal(tmp_path)
+    assert reopened.stats()["skipped_crc"] == 1
+    assert [lsn for lsn, _ in reopened.pending()] == [good]
+    reopened.close()
+
+
+def test_record_with_valid_crc_but_bad_shape_is_skipped(tmp_path):
+    record = {"lsn": "not-an-int", "type": "accepted", "body": {}}
+    record["crc"] = record_crc(record)
+    (tmp_path / segment_name(0)).write_text(
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+    pending, counters = scan_segments(tmp_path)
+    assert pending == {}
+    assert counters["skipped_crc"] == 1
+
+
+# -- rotation and compaction --------------------------------------------------
+
+
+def test_rotation_compacts_completed_records_away(tmp_path):
+    journal = RequestJournal(tmp_path, segment_max_records=4, fsync=False)
+    lsns = [journal.record_accepted({"i": i}) for i in range(10)]
+    for lsn in lsns[:-2]:
+        journal.record_completed(lsn)
+    journal.record_accepted({"i": "rotate"})  # forces one more rotation
+    # Old segments are deleted; only the active one remains.
+    segments = sorted(tmp_path.glob("journal-*.ndjson"))
+    assert len(segments) == 1
+    journal.close()
+    reopened = RequestJournal(tmp_path)
+    assert [body for _, body in reopened.pending()] == [
+        {"i": 8},
+        {"i": 9},
+        {"i": "rotate"},
+    ]
+    reopened.close()
+
+
+def test_open_compacts_history_into_fresh_segment(tmp_path):
+    journal = RequestJournal(tmp_path, fsync=False)
+    done = journal.record_accepted({"done": True})
+    journal.record_accepted({"pending": True})
+    journal.record_completed(done)
+    journal.close()
+    before = _active_segment(tmp_path).name
+    reopened = RequestJournal(tmp_path)
+    after = _active_segment(tmp_path).name
+    assert after > before  # fresh segment; old one GC'd
+    assert reopened.recovered_pending == 1
+    # The compacted segment holds exactly the pending record.
+    pending, counters = scan_segments(tmp_path)
+    assert len(pending) == 1 and counters["records"] == 1
+    reopened.close()
+
+
+# -- degradation (read-only journal dir) --------------------------------------
+
+
+def test_read_only_journal_dir_degrades_instead_of_crashing(tmp_path):
+    if os.geteuid() == 0:
+        pytest.skip("root ignores directory permissions")
+    journal = RequestJournal(tmp_path)
+    kept = journal.record_accepted({"op": "compile"})
+    journal.close()
+    tmp_path.chmod(0o500)
+    try:
+        degraded = RequestJournal(tmp_path)
+        # Recovery still reads the pending set; writes become no-ops.
+        assert [lsn for lsn, _ in degraded.pending()] == [kept]
+        assert degraded.degraded
+        assert degraded.record_accepted({"op": "run"}) is None
+        degraded.record_completed(kept)  # must not raise
+        stats = degraded.stats()
+        assert stats["degraded"] and stats["dropped"] >= 1
+        degraded.close()
+    finally:
+        tmp_path.chmod(0o700)
+
+
+def test_mid_life_write_failure_degrades(tmp_path):
+    journal = RequestJournal(tmp_path)
+    assert journal.record_accepted({"op": "compile"}) is not None
+    journal._file.close()  # simulate the descriptor dying under us
+    assert journal.record_accepted({"op": "run"}) is None
+    assert journal.degraded
+    assert journal.stats()["dropped"] == 1
+    journal.close()
