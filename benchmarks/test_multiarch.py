@@ -1,0 +1,70 @@
+"""Multi-arch kernel matrix — arch × micro kernel × shape.
+
+PR 8 made the kernel and the chip degrees of freedom: the arch registry
+(:mod:`repro.sunway.arch`) carries multiple targets and the kernel
+backend layer (:mod:`repro.codegen.backend`) generates register-tiled
+kernels for shapes no vendor object was ever built for.  This bench
+crosses two registered archs with three kernel points each (the vendor
+contract, the parametric generator at the contract shape, and the
+parametric generator at half reduction depth) over Fig. 13 shapes, and
+commits the matrix as ``BENCH_multiarch.json``.  The payload is a pure
+function of the cost model, so reruns on an unchanged tree are
+byte-identical.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    MULTIARCH_ARCHS,
+    MULTIARCH_SHAPES,
+    multiarch_bench_payload,
+    multiarch_matrix,
+    repo_root,
+    write_bench_file,
+)
+from repro.bench.report import print_figure
+
+
+@pytest.fixture(scope="module")
+def result():
+    return multiarch_matrix()
+
+
+def test_matrix_covers_archs_and_kernels(result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_figure(
+        result, ["arch", "config", "shape", "gflops", "peak_fraction"]
+    )
+    archs = {r["arch"] for r in result.rows}
+    assert archs == set(MULTIARCH_ARCHS)
+    # >= 2 kernel shapes per arch (the acceptance floor): the contract
+    # shape plus the shallow parametric shape.
+    for arch in archs:
+        kernels = {r["kernel"] for r in result.rows if r["arch"] == arch}
+        assert len(kernels) >= 2, f"{arch} covers only {kernels}"
+    assert len(result.rows) == len(MULTIARCH_ARCHS) * 3 * len(MULTIARCH_SHAPES)
+
+
+def test_vendor_kernel_wins_at_its_own_shape(result, benchmark):
+    """The generated kernel pays a per-register-block overhead, so the
+    vendor object must stay the measured optimum at the contract shape —
+    the paper's §7.2 claim survives the backend refactor."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for arch in MULTIARCH_ARCHS:
+        ratio = result.aggregate[f"parametric_vs_vendor_{arch}"]
+        assert 0.80 <= ratio <= 1.0, (
+            f"{arch}: parametric/vendor ratio {ratio} out of range"
+        )
+
+
+def test_snapshot_written_to_repo_root(result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    payload = multiarch_bench_payload(result)
+    path = write_bench_file("BENCH_multiarch.json", payload)
+    assert path.parent == repo_root()
+    reread = json.loads(path.read_text())
+    assert reread["figure"] == "multiarch"
+    assert reread["arch"] == sorted(MULTIARCH_ARCHS)
+    assert len(reread["rows"]) == len(result.rows)

@@ -31,6 +31,7 @@ migration hint — see :mod:`repro.compat`.
 
 from repro import api
 from repro.api import Client, GemmResult, connect
+from repro.codegen.backend import backend_names, get_backend, resolve_kernel
 from repro.compat import GemmCompiler, run_gemm
 from repro.core import CompilerOptions, GemmSpec
 from repro.core.options import TileConfig
@@ -45,10 +46,21 @@ from repro.service import (
     get_default_service,
     set_default_service,
 )
-from repro.sunway import SW26010, SW26010PRO, TOY_ARCH, ArchSpec, Cluster
+from repro.sunway import (
+    SW26010,
+    SW26010PRO,
+    SW26010PRO_HBM,
+    SW26010PRO_LITE,
+    TOY_ARCH,
+    ArchSpec,
+    Cluster,
+    arch_names,
+    get_arch,
+    register_arch,
+)
 from repro.tune import TuneOptions, Tuner, TuningRecord, TuningRecordStore
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # the stable facade
@@ -85,12 +97,21 @@ __all__ = [
     "RetryPolicy",
     "FaultInjector",
     "tile_checksum",
-    # architectures
+    # architectures (the registry is how new targets become reachable)
     "ArchSpec",
     "Cluster",
     "SW26010PRO",
     "SW26010",
+    "SW26010PRO_HBM",
+    "SW26010PRO_LITE",
     "TOY_ARCH",
+    "get_arch",
+    "arch_names",
+    "register_arch",
+    # kernel backends
+    "get_backend",
+    "backend_names",
+    "resolve_kernel",
     # deprecated shims (warn on use)
     "GemmCompiler",
     "run_gemm",

@@ -12,6 +12,8 @@ from repro.bench.harness import (
     fig14_nonsquare,
     fig15_batched,
     fig16_fusion,
+    multiarch_bench_payload,
+    multiarch_matrix,
 )
 from repro.bench.shapes import (
     FIG13_SQUARE_SHAPES,
@@ -25,6 +27,8 @@ __all__ = [
     "fig14_nonsquare",
     "fig15_batched",
     "fig16_fusion",
+    "multiarch_bench_payload",
+    "multiarch_matrix",
     "FIG13_SQUARE_SHAPES",
     "FIG14_NONSQUARE_SHAPES",
     "FIG15_BATCHED",

@@ -393,16 +393,24 @@ def tune_ablation(
 
 def tune_bench_payloads(
     result: FigureResult,
+    arch: ArchSpec = SW26010PRO,
 ) -> Tuple[Dict[str, object], Dict[str, object]]:
     """Split one :func:`tune_ablation` result into the two committed
-    snapshots: the tuned numbers and the fixed-configuration baseline."""
+    snapshots: the tuned numbers and the fixed-configuration baseline.
+
+    ``arch`` is the architecture the ablation ran on; it lands in each
+    payload as a machine-readable top-level field."""
+    arch_key = arch.name.lower()
+    mk = arch.micro_kernel
     tuned = {
         "figure": "tune",
+        "arch": arch_key,
         "rows": result.rows,
         "aggregate": result.aggregate,
     }
     baseline = {
         "figure": "tune-baseline",
+        "arch": arch_key,
         "rows": [
             {
                 "shape": r["shape"],
@@ -410,7 +418,7 @@ def tune_bench_payloads(
                 "M": r["M"],
                 "N": r["N"],
                 "K": r["K"],
-                "config": "64x64x32 (analytical default)",
+                "config": f"{mk.mt}x{mk.nt}x{mk.kt} (analytical default)",
                 "gflops": r["default"],
             }
             for r in result.rows
@@ -421,3 +429,114 @@ def tune_bench_payloads(
         },
     }
     return tuned, baseline
+
+
+# ---------------------------------------------------------------------------
+# Multi-arch kernel matrix: arch × micro kernel × shape
+# ---------------------------------------------------------------------------
+
+#: Fig. 13 shapes reused for the arch × kernel matrix (a subset — the
+#: matrix multiplies them by every arch and kernel point).
+MULTIARCH_SHAPES: Tuple[Shape, ...] = (
+    (1024, 1024, 1024),
+    (2048, 2048, 2048),
+    (4096, 4096, 4096),
+    (8192, 8192, 8192),
+)
+
+#: Default registry names for the matrix: the paper's target and its
+#: predecessor (smaller SPM, no RMA, 32×32×32 contract).
+MULTIARCH_ARCHS: Tuple[str, ...] = ("sw26010pro", "sw26010")
+
+
+def _multiarch_kernel_points(arch: ArchSpec):
+    """``(label, kernel, options)`` triples for one arch: the vendor
+    contract kernel, the parametric generator at the same shape, and the
+    parametric generator at a shallower reduction (kt/2) — a shape no
+    vendor object was ever built for."""
+    from repro.core.options import TileConfig
+
+    mk = arch.micro_kernel
+    full = CompilerOptions.full()
+    shallow = TileConfig(mk.mt, mk.nt, max(2, mk.kt // 2))
+    shallow_name = f"{shallow.mt}x{shallow.nt}x{shallow.kt}"
+    return (
+        (f"vendor@{mk}", str(mk), "vendor", full),
+        (
+            f"parametric@{mk}",
+            str(mk),
+            "parametric",
+            full.with_(kernel_backend="parametric"),
+        ),
+        (
+            f"parametric@{shallow_name}",
+            shallow_name,
+            "parametric",
+            full.with_(kernel_backend="parametric", tile_config=shallow),
+        ),
+    )
+
+
+def multiarch_matrix(
+    archs: Sequence[str] = MULTIARCH_ARCHS,
+    shapes: Sequence[Shape] = MULTIARCH_SHAPES,
+) -> FigureResult:
+    """Simulated Gflops for every (arch, micro kernel, shape) point.
+
+    Each arch contributes three kernel points (vendor contract,
+    parametric at the contract shape, parametric at half reduction
+    depth); non-RMA archs are handled by option reconciliation, so the
+    same ``CompilerOptions.full()`` base works everywhere.  Results are
+    deterministic — the payload can be committed and diffed."""
+    from repro.sunway.arch import get_arch
+
+    result = FigureResult("multiarch")
+    for name in archs:
+        arch = get_arch(name)
+        key = arch.name.lower()
+        sim = PerformanceSimulator(arch)
+        for label, kernel, backend, options in _multiarch_kernel_points(arch):
+            for M, N, K in shapes:
+                perf = sim.simulate(M, N, K, options)
+                result.rows.append(
+                    {
+                        "arch": key,
+                        "config": label,
+                        "kernel": kernel,
+                        "backend": backend,
+                        "shape": f"{M}x{N}x{K}",
+                        "M": M,
+                        "N": N,
+                        "K": K,
+                        "gflops": perf.gflops,
+                        "peak_fraction": perf.gflops / arch.peak_gflops,
+                    }
+                )
+    for name in archs:
+        arch = get_arch(name)
+        key = arch.name.lower()
+        rows = [r for r in result.rows if r["arch"] == key]
+        vendor = [r["gflops"] for r in rows if r["backend"] == "vendor"]
+        contract = str(arch.micro_kernel)
+        generated = [
+            r["gflops"]
+            for r in rows
+            if r["backend"] == "parametric" and r["kernel"] == contract
+        ]
+        result.aggregate[f"best_{key}"] = max(r["gflops"] for r in rows)
+        result.aggregate[f"parametric_vs_vendor_{key}"] = (
+            _mean(generated) / _mean(vendor)
+        )
+    result.aggregate["archs"] = float(len(archs))
+    result.aggregate["kernel_points_per_arch"] = 3.0
+    return result
+
+
+def multiarch_bench_payload(result: FigureResult) -> Dict[str, object]:
+    """The committed ``BENCH_multiarch.json`` snapshot."""
+    return {
+        "figure": "multiarch",
+        "arch": sorted({r["arch"] for r in result.rows}),
+        "rows": result.rows,
+        "aggregate": result.aggregate,
+    }

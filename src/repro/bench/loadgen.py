@@ -413,6 +413,7 @@ def _run_phases(config: TraceConfig, address) -> Dict[str, Any]:
 
     return {
         "figure": "serve",
+        "arch": config.arch,
         "trace": {
             "seed": config.seed,
             "requests": config.requests,

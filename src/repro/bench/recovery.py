@@ -270,6 +270,9 @@ def run_recovery_bench(
     )
     return {
         "figure": "serve_recovery",
+        # Machine-readable: every kernel in this benchmark targets the
+        # down-scaled functional-test arch.
+        "arch": "toy",
         "trace": {
             "seed": config.seed,
             "requests": config.requests,

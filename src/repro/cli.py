@@ -77,17 +77,45 @@ def _load_source(path: str) -> str:
     return Path(path).read_text()
 
 
-_ARCH_CHOICES = ("sw26010pro", "sw26010", "toy")
+def _arch_choices() -> "tuple":
+    from repro.sunway import arch_names
+
+    return arch_names()
 
 
 def _arch_from_args(args) -> "ArchSpec":
-    from repro.sunway import SW26010, SW26010PRO, TOY_ARCH
+    from repro.sunway import get_arch
 
-    return {
-        "sw26010pro": SW26010PRO,
-        "sw26010": SW26010,
-        "toy": TOY_ARCH,
-    }[getattr(args, "arch", "sw26010pro")]
+    return get_arch(getattr(args, "arch", "sw26010pro"))
+
+
+def _parse_micro_kernel(value: str):
+    """``--micro-kernel`` spec → ``(TileConfig | None, backend | None)``.
+
+    Accepted forms: ``MTxNTxKT`` (shape on the default backend), a bare
+    backend name (``vendor``/``parametric`` at the arch's default
+    shape), or ``MTxNTxKT@BACKEND``.
+    """
+    from repro.codegen.backend import backend_names
+    from repro.core.options import TileConfig
+    from repro.errors import ConfigurationError
+
+    shape_part, sep, backend = value.partition("@")
+    if not sep and shape_part in backend_names():
+        return None, shape_part
+    try:
+        mt, nt, kt = (int(d) for d in shape_part.split("x"))
+    except ValueError:
+        raise ConfigurationError(
+            f"--micro-kernel {value!r}: expected MTxNTxKT, a backend name "
+            f"({', '.join(backend_names())}), or MTxNTxKT@BACKEND"
+        ) from None
+    if backend and backend not in backend_names():
+        raise ConfigurationError(
+            f"--micro-kernel {value!r}: unknown backend {backend!r} "
+            f"(registered: {', '.join(backend_names())})"
+        )
+    return TileConfig(mt, nt, kt), backend or None
 
 
 def _add_shared_flags(parser, suppress: bool = False) -> None:
@@ -113,8 +141,15 @@ def _add_shared_flags(parser, suppress: bool = False) -> None:
         "or ~/.cache/swgemm)",
     )
     parser.add_argument(
-        "--arch", choices=_ARCH_CHOICES, default=default("sw26010pro"),
-        help="target architecture model (default: sw26010pro)",
+        "--arch", choices=_arch_choices(), default=default("sw26010pro"),
+        help="target architecture model from the arch registry "
+        "(default: sw26010pro)",
+    )
+    parser.add_argument(
+        "--micro-kernel", metavar="SPEC", default=default(None),
+        help="micro-kernel request: MTxNTxKT (shape), a backend name "
+        "(vendor/parametric), or MTxNTxKT@BACKEND (default: the arch's "
+        "contract on the vendor backend)",
     )
     parser.add_argument(
         "--debug", action="store_true", default=default(False),
@@ -219,7 +254,21 @@ def _spec_and_options(args):
         options = inferred
     if getattr(args, "no_verify", False):
         options = options.with_(verify=False)
+    options = _apply_micro_kernel(args, options)
     return spec, options
+
+
+def _apply_micro_kernel(args, options):
+    """Fold a ``--micro-kernel`` request into an option set."""
+    value = getattr(args, "micro_kernel", None)
+    if not value:
+        return options
+    cfg, backend = _parse_micro_kernel(value)
+    if cfg is not None:
+        options = options.with_(tile_config=cfg)
+    if backend is not None:
+        options = options.with_(kernel_backend=backend)
+    return options
 
 
 def _introspection_requested(args) -> bool:
@@ -446,6 +495,10 @@ def cmd_tune(args) -> int:
                 enable_rma=not args.no_rma,
                 enable_latency_hiding=not (args.no_hiding or args.no_use_asm),
             )
+        if getattr(args, "micro_kernel", None):
+            from repro.core.options import CompilerOptions
+
+            options = _apply_micro_kernel(args, options or CompilerOptions.full())
     result = api.tune(
         spec,
         shape=(args.M, args.N, args.K, args.batch_count),
@@ -504,6 +557,12 @@ def cmd_cache_stats(args) -> int:
         print(
             "per shard : "
             + "  ".join(f"{shard}:{count}" for shard, count in per_shard.items())
+        )
+    archs = disk.get("archs") or {}
+    if archs:
+        print(
+            "per arch  : "
+            + "  ".join(f"{name}:{count}" for name, count in archs.items())
         )
     print("cumulative (all runs against this cache dir):")
     for label, key in (

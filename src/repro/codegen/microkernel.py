@@ -3,9 +3,9 @@
 On the real system the kernel is a compiled object written by the Sunway
 architects: it moves the SPM tiles through the register file with optimal
 register allocation, SIMD intrinsics, unrolling and instruction
-scheduling, and its shape (64×64×32) was chosen to maximise SPM
-utilisation under double buffering.  Neither the object file nor the ISA
-is available, so the simulator substitutes:
+scheduling, and its shape — the arch's contract, 64×64×32 on SW26010Pro —
+was chosen to maximise SPM utilisation under double buffering.  Neither
+the object file nor the ISA is available, so the simulator substitutes:
 
 * :class:`AsmMicroKernel` — numerically a fused
   ``C += α · (A_τ × B_τ)`` over the SPM tiles (NumPy ``matmul``); in time,

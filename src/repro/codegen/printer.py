@@ -288,12 +288,25 @@ class CpePrinter:
         lines.append('#include "swgemm_args.h"')
         lines.append("")
         if program.options.use_asm:
-            lines.append("/* The vendor-optimised inline assembly micro kernel "
-                         "(compiled object, §7.2). */")
-            lines.append(
-                f"extern void {program.cpe_program.kernel_name}"
-                "(double *c, const double *a, const double *b, double alpha);"
+            from repro.codegen.backend import resolve_kernel
+
+            kernel = resolve_kernel(
+                program.arch, program.options, plan.kernel_shape
             )
+            if hasattr(kernel, "source"):
+                # Generated backends carry their own C body — inline it
+                # so the printed file is self-contained (nothing to link
+                # beyond the athread runtime).
+                lines.append(kernel.source().rstrip("\n"))
+            else:
+                lines.append(
+                    "/* The vendor-optimised inline assembly micro kernel "
+                    "(compiled object, §7.2). */"
+                )
+                lines.append(
+                    f"extern void {program.cpe_program.kernel_name}"
+                    "(double *c, const double *a, const double *b, double alpha);"
+                )
             lines.append("")
         for decl in program.cpe_program.buffers:
             dims = "".join(f"[{d}]" for d in decl.shape)

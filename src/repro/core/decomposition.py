@@ -10,12 +10,14 @@ shape:
 2. isolate the batch dimension of batched GEMM (Fig. 3) — it is never
    decomposed, so a CPE iterates the batch sequentially and the mesh is
    started only once (§8.3);
-3. tile all three dimensions by the micro-kernel shape 64×64×32
-   (Fig. 4a);
-4. bind the tile loops to the mesh: ``Rid = ⌊i/64⌋ mod 8``,
-   ``Cid = ⌊j/64⌋ mod 8`` (Fig. 4b), with *chunk* loops
-   ``ic = ⌊i/512⌋``, ``jc = ⌊j/512⌋`` iterating the 512×512×256 blocks a
-   full mesh pass covers (§4);
+3. tile all three dimensions by the micro-kernel shape — the arch's
+   contract (64×64×32 on the paper's SW26010Pro target, Fig. 4a), or
+   whatever shape the tile plan carries for a tuned/generated kernel;
+4. bind the tile loops to the mesh: ``Rid = ⌊i/mt⌋ mod mesh``,
+   ``Cid = ⌊j/nt⌋ mod mesh`` (Fig. 4b — ``⌊i/64⌋ mod 8`` on the default
+   target), with *chunk* loops ``ic``, ``jc`` iterating the
+   ``(mesh·mt)×(mesh·nt)×(mesh·kt)`` blocks a full mesh pass covers
+   (512×512×256 by default, §4);
 5. strip-mine the reduced tile loop by the mesh size (Fig. 6), which
    assigns each CPE one k-slice per outer iteration and sets up the RMA
    sharing of §5.  Without RMA (the breakdown's first two variants) the

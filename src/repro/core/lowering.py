@@ -15,7 +15,7 @@ from repro.errors import CodegenError
 from repro.core.decomposition import Decomposition
 from repro.core.dma import DmaSpec
 from repro.core.rma import RmaSpec
-from repro.codegen.microkernel import get_kernel
+from repro.codegen.backend import resolve_kernel
 from repro.poly.affine import AffExpr, aff_var
 from repro.poly.astgen import ScanContext
 from repro.poly.astnodes import (
@@ -45,8 +45,8 @@ class GemmLowering:
         self.spec = dec.spec
         self.plan = dec.plan
         self.options = dec.options
-        self.kernel = get_kernel(
-            _arch_of(dec), dec.options.use_asm, dec.plan.kernel_shape
+        self.kernel = resolve_kernel(
+            _arch_of(dec), dec.options, dec.plan.kernel_shape
         )
 
     # ------------------------------------------------------------------

@@ -30,8 +30,9 @@ TILE_ALIGN = 4
 class TileConfig:
     """First-class tunable tile/pipeline configuration.
 
-    The paper fixes the micro-kernel shape at 64×64×32 analytically
-    (§3.1); the autotuner (:mod:`repro.tune`) instead searches this
+    The paper fixes the micro-kernel shape analytically at the arch's
+    contract (§3.1 — 64×64×32 on SW26010Pro); the autotuner
+    (:mod:`repro.tune`) instead searches this
     space.  A ``TileConfig`` carries the (X̂, Ŷ, Ẑ) tile sizes plus the
     two pipeline knobs that interact with them:
 
@@ -124,6 +125,11 @@ class CompilerOptions:
     #: analytical default shape with derived pipeline knobs).  Set by the
     #: autotuner (:mod:`repro.tune`) or ``--tile MTxNTxKT`` explicitly.
     tile_config: Optional[TileConfig] = None
+    #: Micro-kernel backend generating the compute kernel (``None`` =
+    #: the vendor §7.2 contract; ``"parametric"`` = the register-tiled
+    #: generator).  Resolved through
+    #: :func:`repro.codegen.backend.get_backend`.
+    kernel_backend: Optional[str] = None
     #: Fault-injection plane threaded through every entry point that
     #: consumes this option set (``--inject-faults`` / ``--fault-seed``).
     #: Runtime-only: excluded from cache keys, see
@@ -155,6 +161,16 @@ class CompilerOptions:
                 "enable_latency_hiding requires use_asm (the breakdown's "
                 "baseline variant disables both)"
             )
+        if self.kernel_backend is not None:
+            # Lazy import: the backend registry lives above this module
+            # in the import graph (codegen.backend → tile_model → here).
+            from repro.codegen.backend import backend_names
+
+            if self.kernel_backend not in backend_names():
+                raise ConfigurationError(
+                    f"unknown kernel backend {self.kernel_backend!r}; "
+                    f"registered: {', '.join(backend_names())}"
+                )
 
     # -- named variants of the §8.1 breakdown -------------------------------
 
@@ -194,7 +210,9 @@ class CompilerOptions:
         else:
             base = "+hiding"
         if self.tile_config is not None:
-            return f"{base}@{self.tile_config.name()}"
+            base = f"{base}@{self.tile_config.name()}"
+        if self.kernel_backend is not None:
+            base = f"{base}#{self.kernel_backend}"
         return base
 
     def with_(self, **overrides) -> "CompilerOptions":

@@ -46,7 +46,7 @@ from repro.core.options import ELEMENTWISE_FUNCS, CompilerOptions
 from repro.core.rma import RmaSpec, derive_rma_specs
 from repro.core.spec import GemmSpec
 from repro.core.tile_model import TilePlan, plan_for_kernel
-from repro.codegen.microkernel import get_kernel
+from repro.codegen.backend import resolve_kernel
 from repro.poly.affine import aff_const, aff_var
 from repro.poly.astgen import AstGenerator
 from repro.poly.astnodes import BufferDecl, CpeProgram, ReplyDecl, walk_stmts
@@ -87,7 +87,10 @@ def reconcile_options(
     ``tile_config=None``, and redundant pipeline knobs (a
     ``buffer_depth``/``k_strip`` equal to what the options/arch already
     derive) are cleared — so an autotuned point that happens to restate
-    the defaults addresses the same artifact as a plain request.
+    the defaults addresses the same artifact as a plain request.  An
+    arch without an RMA fabric also clears ``enable_rma`` (on SW26010
+    the flag cannot select any code path), so default requests compile
+    on every registered arch.
     """
     if spec.is_batched and not options.batch:
         raise CompilationError(
@@ -127,6 +130,18 @@ def reconcile_options(
         options = options.with_(prologue_func=defaults.prologue_func)
     if options.fusion != "epilogue" and options.epilogue_func != defaults.epilogue_func:
         options = options.with_(epilogue_func=defaults.epilogue_func)
+
+    # The kernel backend only matters on the assembly path (the scalar
+    # variant models swgcc's naive loop nest — no generator involved),
+    # and "vendor" restates the default — both collapse to None so
+    # kernel-identical requests share one artifact.
+    if options.kernel_backend is not None and (
+        not options.use_asm or options.kernel_backend == "vendor"
+    ):
+        options = options.with_(kernel_backend=None)
+
+    if arch is not None and options.enable_rma and not arch.rma_supported:
+        options = options.with_(enable_rma=False)
 
     cfg = options.tile_config
     if cfg is not None:
@@ -546,7 +561,7 @@ class MicroKernelMarkPass(Pass):
                 "b_slot": slot,
             },
         )
-        kernel = get_kernel(ctx.arch, ctx.options.use_asm, plan.kernel_shape)
+        kernel = resolve_kernel(ctx.arch, ctx.options, plan.kernel_shape)
         ctx.decide(
             f"point band marked for kernel {kernel.name} "
             f"(inputs {a_buffer}/{b_buffer})"
@@ -617,8 +632,8 @@ class AstGenerationPass(Pass):
             buffers=_buffer_decls(dec),
             replies=_reply_decls(dec, dma_specs, ctx.rma_specs),
             body=body,
-            kernel_name=get_kernel(
-                ctx.arch, ctx.options.use_asm, dec.plan.kernel_shape
+            kernel_name=resolve_kernel(
+                ctx.arch, ctx.options, dec.plan.kernel_shape
             ).name,
         )
         ctx.info(

@@ -5,15 +5,18 @@ match the shape configuration of the assembly micro kernel, "which fully
 considers the memory sizes of SPMs and registers".  This module provides
 both directions:
 
-* :func:`plan_for_kernel` — given the (vendor-fixed) kernel shape and the
-  compiler options, derive the SPM buffer plan (§6.3's nine buffers when
-  everything is enabled) and *prove* it fits the SPM, raising otherwise;
+* :func:`plan_for_kernel` — given the kernel shape (the arch's contract,
+  or an autotuned/backend-generated one) and the compiler options,
+  derive the SPM buffer plan (§6.3's nine buffers when everything is
+  enabled) and *prove* it fits the SPM, raising otherwise;
 * :func:`search_optimal_shape` — the analytical model itself: enumerate
   feasible power-of-two shapes and score them with a per-inner-iteration
   time model (kernel efficiency, RMA broadcast latency, shared-DMA
   bandwidth, fixed per-iteration overhead).  For the SW26010Pro
-  parameters the arg-max is exactly 64×64×32, reproducing the paper's
-  claim that the empirically chosen kernel shape is the modelled optimum.
+  parameters the arg-max is exactly the arch's 64×64×32 contract,
+  reproducing the paper's claim that the empirically chosen kernel shape
+  is the modelled optimum; other registered archs carry their own
+  contracts (see :mod:`repro.sunway.arch`).
 
 The per-iteration model mirrors the structure the timed simulator later
 measures: with latency hiding, an inner iteration costs the maximum of the
@@ -175,10 +178,24 @@ def plan_for_kernel(
     set: a ``buffer_depth`` contradicting the latency-hiding mode or a
     ``k_strip`` contradicting the RMA strip-mine factor is rejected —
     the pruner relies on this to discard inconsistent search points.
+    The selected kernel backend must also accept the shape
+    (:class:`~repro.errors.ConfigurationError` otherwise), so the
+    pruner discards shapes the generator refuses for free.
     """
     cfg = options.tile_config
     if shape is None:
         shape = cfg.shape() if cfg is not None else arch.micro_kernel
+    if options.use_asm:
+        # Lazy import: codegen.backend sits above this module.
+        from repro.codegen.backend import get_backend
+
+        backend = get_backend(options.kernel_backend)
+        refusal = backend.supports(shape, arch)
+        if refusal is not None:
+            raise ConfigurationError(
+                f"kernel backend {backend.name!r} refuses {shape} on "
+                f"{arch.name}: {refusal}"
+            )
     use_rma = options.enable_rma and arch.rma_supported
     if options.enable_rma and not arch.rma_supported:
         raise ConfigurationError(
@@ -294,7 +311,7 @@ def candidate_shapes(
     """Power-of-two candidates (SIMD-aligned, square C tiles by default —
     the mesh is square, so asymmetric tiles unbalance the two broadcast
     channels)."""
-    simd = 8
+    simd = arch.simd_doubles
     sizes = [simd * (1 << p) for p in range(7)]  # 8..512
     depths = [4 * (1 << p) for p in range(7)]  # 4..256
     for mt in sizes:

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.errors import ExecutionError, SynchronizationError
 from repro.codegen.elementwise import get_elementwise
-from repro.codegen.microkernel import get_kernel
+from repro.codegen.backend import resolve_kernel
 from repro.poly.astnodes import (
     AffRef,
     ArrayRef,
@@ -107,8 +107,8 @@ class Executor:
         self.move_data = move_data
         #: interpret NaiveComputeStmt with scalar Python loops (test oracle)
         self.scalar_naive = scalar_naive
-        self.kernel = get_kernel(
-            program.arch, program.options.use_asm, program.plan.kernel_shape
+        self.kernel = resolve_kernel(
+            program.arch, program.options, program.plan.kernel_shape
         )
         self._blocked: Dict[Tuple[int, int], str] = {}
         self._progress = 0

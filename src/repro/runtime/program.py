@@ -113,7 +113,15 @@ class CompiledProgram:
                 f"artifact has serde version {version!r}, "
                 f"expected {serde.SERDE_VERSION}"
             )
-        arch = serde.decode(data["arch"])
+        # Pre-refactor artifacts (before arch became a degree of freedom)
+        # may carry no arch tag at all; they were all compiled for the
+        # paper's single SW26010Pro target, so default rather than crash.
+        if data.get("arch") is not None:
+            arch = serde.decode(data["arch"])
+        else:
+            from repro.sunway.arch import SW26010PRO
+
+            arch = SW26010PRO
         decomposition = serde.decode(data["decomposition"])
         # Artifacts written before Decomposition.arch became a real field
         # (and before the field entered the serde payload) reload with

@@ -217,8 +217,6 @@ class Response:
 # Kernel descriptors on the wire
 # ---------------------------------------------------------------------------
 
-_ARCH_NAMES = ("sw26010pro", "sw26010", "toy")
-
 #: params keys that map straight onto CompilerOptions fields.
 _OPTION_KEYS = (
     "batch",
@@ -228,27 +226,28 @@ _OPTION_KEYS = (
     "fusion",
     "prologue_func",
     "epilogue_func",
+    "kernel_backend",
     "verify",
 )
 
 
 def arch_from_name(name: str):
-    """Resolve a wire architecture name to its :class:`ArchSpec`."""
-    from repro.sunway import SW26010, SW26010PRO, TOY_ARCH
+    """Resolve a wire architecture name via the arch registry."""
+    from repro.errors import ConfigurationError
+    from repro.sunway import arch_names, get_arch
 
-    table = {"sw26010pro": SW26010PRO, "sw26010": SW26010, "toy": TOY_ARCH}
     try:
-        return table[name]
-    except KeyError:
+        return get_arch(str(name))
+    except ConfigurationError:
         raise ProtocolError(
-            f"unknown arch {name!r}; expected one of {_ARCH_NAMES}"
+            f"unknown arch {name!r}; expected one of {arch_names()}"
         ) from None
 
 
 #: Every params key the kernel ops understand; anything else is a typo
 #: the daemon must reject, not silently ignore.
 KNOWN_PARAM_KEYS = frozenset(_OPTION_KEYS) | {
-    "arch", "tile", "fault", "fault_policy", "retry_policy",
+    "arch", "tile", "micro_kernel", "fault", "fault_policy", "retry_policy",
     "dtype", "trans_a", "trans_b",
     "M", "N", "K", "seed", "alpha", "batch_count",
     "timeout", "guarded", "budget", "drain",
@@ -289,6 +288,20 @@ def spec_and_options(params: Dict[str, Any]):
             overrides["tile_config"] = TileConfig(**tile)
         except (TypeError, ConfigurationError) as exc:
             raise ProtocolError(f"invalid tile config: {exc}") from exc
+    micro_kernel = params.get("micro_kernel")
+    if micro_kernel is not None:
+        # "MTxNTxKT" shorthand for a kernel-shape request; composes with
+        # kernel_backend (which picks the generator for that shape).
+        if "tile" in params:
+            raise ProtocolError("micro_kernel and tile are mutually exclusive")
+        try:
+            mt, nt, kt = (int(d) for d in str(micro_kernel).split("x"))
+            overrides["tile_config"] = TileConfig(mt, nt, kt)
+        except (TypeError, ValueError, ConfigurationError) as exc:
+            raise ProtocolError(
+                f"invalid micro_kernel {micro_kernel!r} (expected "
+                f"'MTxNTxKT'): {exc}"
+            ) from exc
     fault = params.get("fault")
     if fault is not None:
         if not isinstance(fault, dict):

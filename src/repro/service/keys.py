@@ -44,8 +44,12 @@ from repro.sunway.arch import SW26010PRO, ArchSpec
 #: pipeline identity entered the payload.  3: ``tile_config`` joined
 #: ``CompilerOptions`` (autotuner) — pre-tile artifacts were compiled
 #: before the kernel shape became request-addressable, so they are
-#: invalidated wholesale rather than guessed at.
-CACHE_SCHEMA_VERSION = 3
+#: invalidated wholesale rather than guessed at.  4: the multi-arch
+#: backend refactor — ``kernel_backend`` joined ``CompilerOptions`` and
+#: ``ArchSpec`` grew register-file fields (``simd_doubles``,
+#: ``vector_registers``), so the canonical arch/options blobs changed
+#: encoding.
+CACHE_SCHEMA_VERSION = 4
 
 
 def canonical_blob(obj: object) -> str:

@@ -200,6 +200,9 @@ class ArtifactStore:
             "created": time.time(),
             "codegen_seconds": program.codegen_seconds,
             "variant": program.options.variant_name(),
+            # Machine-readable arch tag (registry key) so cache stats can
+            # attribute artifacts per-arch without decoding the program.
+            "arch": program.arch.name.lower(),
             "program": program.to_dict(),
         }
         path = self.path_for(key)
@@ -247,6 +250,22 @@ class ArtifactStore:
         for path in self._artifact_paths():
             shard = path.parent.name if path.parent != self.root else "(flat)"
             counts[shard] = counts.get(shard, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def arch_counts(self) -> Dict[str, int]:
+        """Artifacts per architecture (top-level ``arch`` tag).
+
+        Artifacts written before the tag existed were all compiled for
+        the paper's single SW26010Pro target, so an untagged artifact
+        counts as ``sw26010pro`` rather than unknown."""
+        counts: Dict[str, int] = {}
+        for path in self._artifact_paths():
+            try:
+                data = json.loads(path.read_text())
+                name = str(data.get("arch") or "sw26010pro").lower()
+            except (OSError, ValueError):
+                name = "(unreadable)"
+            counts[name] = counts.get(name, 0) + 1
         return dict(sorted(counts.items()))
 
     def clear(self) -> int:
@@ -329,6 +348,7 @@ class ArtifactStore:
             "bytes": self.total_bytes(),
             "shards": len(shards),
             "per_shard": shards,
+            "archs": self.arch_counts(),
             "migrated": self.migrated,
             "hits": self.disk_hits,
             "misses": self.disk_misses,

@@ -33,9 +33,15 @@ than trusted.
 from repro.sunway.arch import (
     SW26010,
     SW26010PRO,
+    SW26010PRO_HBM,
+    SW26010PRO_LITE,
     TOY_ARCH,
     ArchSpec,
     MicroKernelShape,
+    all_archs,
+    arch_names,
+    get_arch,
+    register_arch,
 )
 from repro.sunway.mesh import Cluster
 from repro.sunway.athread import AthreadRuntime
@@ -46,6 +52,12 @@ __all__ = [
     "SW26010PRO",
     "SW26010",
     "TOY_ARCH",
+    "SW26010PRO_HBM",
+    "SW26010PRO_LITE",
     "Cluster",
     "AthreadRuntime",
+    "all_archs",
+    "arch_names",
+    "get_arch",
+    "register_arch",
 ]

@@ -22,14 +22,18 @@ methodology the paper applies to its own analytical tile-size model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
 class MicroKernelShape:
-    """The shape contract of the vendor's inline assembly kernel (§7.2)."""
+    """An arch's micro-kernel shape contract (§7.2).
+
+    The default is the vendor 64×64×32 contract on SW26010Pro; every
+    registered architecture carries its own default shape, and kernel
+    backends may generate kernels for other legal shapes."""
 
     mt: int = 64
     nt: int = 64
@@ -95,6 +99,13 @@ class ArchSpec:
     # prologue/epilogue tiles in SPM.
     cpe_elementwise_rate: float = 2.0e9
 
+    # ---- register file (parametric kernel generation, §7.2) -------------
+    # Doubles per SIMD vector register (512-bit pipelines → 8) and the
+    # number of architectural vector registers a generated register-tiled
+    # kernel may allocate accumulators/operands from.
+    simd_doubles: int = 8
+    vector_registers: int = 32
+
     micro_kernel: MicroKernelShape = field(default_factory=MicroKernelShape)
 
     def __post_init__(self) -> None:
@@ -111,6 +122,10 @@ class ArchSpec:
                 raise ConfigurationError(f"{attr} must be positive")
         if not 0 < self.kernel_efficiency <= 1:
             raise ConfigurationError("kernel_efficiency must be in (0, 1]")
+        if self.simd_doubles <= 0 or self.vector_registers <= 0:
+            raise ConfigurationError(
+                "simd_doubles and vector_registers must be positive"
+            )
 
     # ---- derived quantities ------------------------------------------------
 
@@ -181,6 +196,8 @@ class ArchSpec:
             "peak_gflops": round(self.peak_gflops, 2),
             "micro_kernel": str(self.micro_kernel),
             "rma": self.rma_supported,
+            "simd_doubles": self.simd_doubles,
+            "vector_registers": self.vector_registers,
         }
 
 
@@ -206,3 +223,75 @@ TOY_ARCH = ArchSpec(
     spm_bytes=8 * 1024,
     micro_kernel=MicroKernelShape(8, 8, 4),
 )
+
+#: Hypothetical: an SW26010Pro core group behind HBM-class memory.  The
+#: compute side is unchanged, so kernel-bound shapes match SW26010Pro
+#: bit-for-bit while DMA-bound shapes expose the bandwidth headroom.
+SW26010PRO_HBM = ArchSpec(
+    name="SW26010Pro-HBM",
+    dma_bandwidth_gbs=192.0,
+    dma_startup_us=0.08,
+)
+
+#: Hypothetical: a cost-reduced part with half the SPM.  The vendor
+#: 64×64×32 plan does not fit 128 KB (the nine-buffer full pipeline
+#: needs ~160 KB), so the default contract shallows the reduction to
+#: 64×64×16 (~96 KB with RMA broadcasts and double buffering).
+SW26010PRO_LITE = ArchSpec(
+    name="SW26010Pro-Lite",
+    spm_bytes=128 * 1024,
+    micro_kernel=MicroKernelShape(64, 64, 16),
+)
+
+
+# ---------------------------------------------------------------------------
+# Architecture registry
+# ---------------------------------------------------------------------------
+
+#: Registered architectures, keyed by ``spec.name.lower()``.  The CLI
+#: (``--arch``) and the serve protocol resolve names through this table,
+#: so registering a spec makes it reachable end to end.
+_ARCH_REGISTRY: Dict[str, ArchSpec] = {}
+
+
+def register_arch(spec: ArchSpec) -> ArchSpec:
+    """Register ``spec`` under ``spec.name.lower()`` (idempotent).
+
+    Re-registering the same name with a *different* spec is rejected —
+    cache keys and tuning records embed the arch parameters, so silently
+    redefining a name would alias incompatible artifacts."""
+    key = spec.name.lower()
+    existing = _ARCH_REGISTRY.get(key)
+    if existing is not None and existing != spec:
+        raise ConfigurationError(
+            f"arch name {key!r} is already registered with different "
+            f"parameters"
+        )
+    _ARCH_REGISTRY[key] = spec
+    return spec
+
+
+def get_arch(name: str) -> ArchSpec:
+    """Look up a registered architecture by (case-insensitive) name."""
+    try:
+        return _ARCH_REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(arch_names())
+        raise ConfigurationError(
+            f"unknown arch {name!r} (registered: {known})"
+        ) from None
+
+
+def arch_names() -> Tuple[str, ...]:
+    """Registered architecture names, in registration order."""
+    return tuple(_ARCH_REGISTRY)
+
+
+def all_archs() -> Dict[str, ArchSpec]:
+    """Name → spec snapshot of the registry."""
+    return dict(_ARCH_REGISTRY)
+
+
+for _spec in (SW26010PRO, SW26010, TOY_ARCH, SW26010PRO_HBM, SW26010PRO_LITE):
+    register_arch(_spec)
+del _spec

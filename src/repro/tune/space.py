@@ -9,7 +9,13 @@ The tuner instead searches the surrounding configuration space:
 * the k-strip factor and SPM buffer depth — pinned on each candidate's
   :class:`~repro.core.options.TileConfig` so search points are
   self-describing (option reconciliation collapses redundant pins);
-* RMA broadcasts on/off and latency hiding on/off.
+* RMA broadcasts on/off and latency hiding on/off;
+* the kernel backend — the vendor contract kernel vs. the parametric
+  register-tiled generator (:mod:`repro.codegen.backend`), searched
+  jointly with the shape since a generated kernel admits shapes the
+  vendor object was never built for.  Shapes a backend refuses surface
+  as :class:`~repro.errors.ConfigurationError` in the analytical model,
+  which the pruner already maps to "infeasible".
 
 Randomness is a :class:`SplitMix64` generator seeded from the tuning
 options — never the ``random`` module or any wall-clock source — so a
@@ -29,7 +35,7 @@ from repro.sunway.arch import ArchSpec
 #: tuning records are content-addressed by (spec-class, arch, space
 #: version), so old records stop matching instead of silently steering
 #: compiles to points the new space no longer contains.
-SEARCH_SPACE_VERSION = 1
+SEARCH_SPACE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -39,14 +45,21 @@ class Candidate:
     tile: TileConfig
     enable_rma: bool = True
     enable_latency_hiding: bool = True
+    #: Which generator produces the micro kernel for ``tile``'s shape.
+    #: ``"vendor"`` (the default, and the only pre-v2 value) keeps
+    #: candidate names byte-identical with the v1 space.
+    kernel_backend: str = "vendor"
 
     def name(self) -> str:
         flags = ("rma" if self.enable_rma else "dma") + (
             "+hide" if self.enable_latency_hiding else ""
         )
-        return f"{self.tile.name()}:{flags}"
+        label = f"{self.tile.name()}:{flags}"
+        if self.kernel_backend != "vendor":
+            label += f":{self.kernel_backend}"
+        return label
 
-    def knobs(self) -> Tuple[int, int, int, bool, bool]:
+    def knobs(self) -> Tuple[int, int, int, bool, bool, str]:
         """The axes hill-climbing steps along (one knob per move)."""
         return (
             self.tile.mt,
@@ -54,6 +67,7 @@ class Candidate:
             self.tile.kt,
             self.enable_rma,
             self.enable_latency_hiding,
+            self.kernel_backend,
         )
 
     def apply(self, options: CompilerOptions) -> CompilerOptions:
@@ -61,12 +75,18 @@ class Candidate:
 
         Latency hiding only exists around the fast kernel
         (``use_asm``), so a no-asm base keeps hiding off regardless.
+        ``"vendor"`` maps to ``kernel_backend=None`` — the reconciled
+        default — so vendor candidates address the same cache keys as
+        pre-v2 tuning runs.
         """
         return options.with_(
             tile_config=self.tile,
             enable_rma=self.enable_rma,
             enable_latency_hiding=self.enable_latency_hiding
             and options.use_asm,
+            kernel_backend=None
+            if self.kernel_backend == "vendor"
+            else self.kernel_backend,
         )
 
 
@@ -95,22 +115,29 @@ def enumerate_candidates(
         if base_options.use_asm and base_options.enable_latency_hiding
         else (False,)
     )
+    # Backends only differentiate the asm path (no-asm compiles run the
+    # naive kernel regardless); shapes the parametric generator refuses
+    # are pruned as infeasible by the analytical model, not here.
+    backend_choices: Sequence[str] = (
+        ("vendor", "parametric") if base_options.use_asm else ("vendor",)
+    )
     candidates: List[Candidate] = []
     for mt in _tile_sizes(mk.mt):
         for nt in _tile_sizes(mk.nt):
             for kt in _tile_sizes(mk.kt):
                 for rma in rma_choices:
                     for hiding in hiding_choices:
-                        tile = TileConfig(
-                            mt=mt,
-                            nt=nt,
-                            kt=kt,
-                            buffer_depth=2 if hiding else 1,
-                            k_strip=arch.mesh_rows if rma else 1,
-                        )
-                        candidates.append(
-                            Candidate(tile, rma, hiding)
-                        )
+                        for backend in backend_choices:
+                            tile = TileConfig(
+                                mt=mt,
+                                nt=nt,
+                                kt=kt,
+                                buffer_depth=2 if hiding else 1,
+                                k_strip=arch.mesh_rows if rma else 1,
+                            )
+                            candidates.append(
+                                Candidate(tile, rma, hiding, backend)
+                            )
     return candidates
 
 

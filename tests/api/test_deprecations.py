@@ -41,7 +41,27 @@ def test_kernel_service_warns_and_stays_a_compile_service():
     assert program.verification is not None
 
 
+def test_compat_get_kernel_warns_and_matches_backend():
+    """The legacy kernel-selection helper routes through the backend
+    registry, with the single-warning migration hint."""
+    from repro.codegen.backend import get_backend
+    from repro.compat import get_kernel
+
+    with pytest.warns(DeprecationWarning, match="resolve_kernel"):
+        kernel = get_kernel(TOY_ARCH, use_asm=True)
+    reference = get_backend("vendor").generate(
+        TOY_ARCH.micro_kernel, TOY_ARCH.simd_doubles, TOY_ARCH
+    )
+    assert kernel.name == reference.name
+    assert kernel.seconds_per_call == reference.seconds_per_call
+
+    with pytest.warns(DeprecationWarning, match="resolve_kernel"):
+        naive = get_kernel(TOY_ARCH, use_asm=False)
+    assert naive.name.startswith("naive_")
+
+
 def test_internal_spellings_do_not_warn():
+    from repro.codegen.backend import resolve_kernel
     from repro.core.pipeline import GemmCompiler
     from repro.runtime.executor import run_gemm
 
@@ -52,4 +72,5 @@ def test_internal_spellings_do_not_warn():
             program, np.ones((32, 16)), np.ones((16, 32)), beta=0.0
         )
         CompileService(ServiceConfig(enabled=False))
+        resolve_kernel(TOY_ARCH, repro.CompilerOptions())
     assert np.allclose(c, np.ones((32, 16)) @ np.ones((16, 32)))

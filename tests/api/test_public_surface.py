@@ -48,12 +48,21 @@ EXPECTED_EXPORTS = sorted(
         "RetryPolicy",
         "FaultInjector",
         "tile_checksum",
-        # architectures
+        # architectures (the registry is how new targets become reachable)
         "ArchSpec",
         "Cluster",
         "SW26010PRO",
         "SW26010",
+        "SW26010PRO_HBM",
+        "SW26010PRO_LITE",
         "TOY_ARCH",
+        "get_arch",
+        "arch_names",
+        "register_arch",
+        # kernel backends
+        "get_backend",
+        "backend_names",
+        "resolve_kernel",
         # deprecated shims (warn on use)
         "GemmCompiler",
         "run_gemm",

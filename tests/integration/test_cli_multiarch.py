@@ -1,0 +1,62 @@
+"""The multi-arch CLI surface (PR 8): ``--arch`` and ``--micro-kernel``."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return str(tmp_path / "kernel-cache")
+
+
+def test_compile_nondefault_arch_and_shape(tmp_path, cache_dir, capsys):
+    """The acceptance-criterion invocation: a non-contract shape on the
+    older chip compiles and names its shape in the kernel call."""
+    out = tmp_path / "out"
+    assert main([
+        "--cache-dir", cache_dir, "compile",
+        "--arch", "sw26010", "--micro-kernel", "32x32x16",
+        "-o", str(out),
+    ]) == 0
+    cpe = (out / "gemm_cpe.c").read_text()
+    assert "32x32x16" in cpe
+
+
+def test_compile_parametric_backend_inlines_generated_kernel(
+    tmp_path, cache_dir
+):
+    out = tmp_path / "out"
+    assert main([
+        "--cache-dir", cache_dir, "compile",
+        "--arch", "sw26010", "--micro-kernel", "32x32x16@parametric",
+        "-o", str(out),
+    ]) == 0
+    cpe = (out / "gemm_cpe.c").read_text()
+    assert "gen_dgemm_32x32x16" in cpe
+    assert "doublev8" in cpe
+
+
+def test_run_on_nondefault_arch_verifies_numerics(cache_dir, capsys):
+    assert main([
+        "--cache-dir", cache_dir, "run",
+        "--arch", "sw26010", "--micro-kernel", "32x32x16",
+        "-M", "256", "-N", "256", "-K", "128",
+    ]) == 0
+    assert "max |C - reference|" in capsys.readouterr().out
+
+
+def test_bad_micro_kernel_spec_exits_1(cache_dir, capsys):
+    code = main([
+        "--cache-dir", cache_dir, "compile",
+        "--micro-kernel", "32by32by16",
+    ])
+    assert code == 1
+    assert "expected MTxNTxKT" in capsys.readouterr().err
+
+
+def test_unknown_arch_rejected_by_argparse(cache_dir, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--cache-dir", cache_dir, "compile", "--arch", "riscv"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err

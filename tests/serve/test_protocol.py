@@ -203,6 +203,53 @@ def test_spec_and_options_fusion_and_batch():
     assert options.batch
 
 
+def test_spec_and_options_registry_archs_resolve():
+    """The wire resolves every registered arch, case-insensitively —
+    including the PR-8 hypothetical variants."""
+    for name in ("sw26010pro", "SW26010Pro-HBM", "sw26010pro-lite"):
+        _, _, arch = spec_and_options({"arch": name})
+        assert arch.name.lower() == name.lower()
+
+
+def test_spec_and_options_micro_kernel_shorthand():
+    _, options, _ = spec_and_options(
+        {"arch": "toy", "micro_kernel": "8x8x4"}
+    )
+    assert options.tile_config is not None
+    assert (options.tile_config.mt, options.tile_config.nt,
+            options.tile_config.kt) == (8, 8, 4)
+
+
+def test_spec_and_options_micro_kernel_composes_with_backend():
+    _, options, _ = spec_and_options(
+        {"arch": "toy", "micro_kernel": "8x8x4",
+         "kernel_backend": "parametric"}
+    )
+    assert options.kernel_backend == "parametric"
+    assert options.tile_config.kt == 4
+
+
+def test_spec_and_options_micro_kernel_rejects_garbage():
+    with pytest.raises(ProtocolError, match="invalid micro_kernel"):
+        spec_and_options({"arch": "toy", "micro_kernel": "8by8by4"})
+
+
+def test_spec_and_options_micro_kernel_and_tile_mutually_exclusive():
+    with pytest.raises(ProtocolError, match="mutually exclusive"):
+        spec_and_options(
+            {
+                "arch": "toy",
+                "micro_kernel": "8x8x4",
+                "tile": {"mt": 8, "nt": 8, "kt": 4},
+            }
+        )
+
+
+def test_spec_and_options_unknown_kernel_backend_is_protocol_error():
+    with pytest.raises(ProtocolError, match="kernel backend"):
+        spec_and_options({"arch": "toy", "kernel_backend": "bogus"})
+
+
 def test_spec_and_options_fault_shorthand():
     _, options, _ = spec_and_options(
         {"arch": "toy", "fault": {"seed": 2022, "rate": 0.05, "max_retries": 5}}

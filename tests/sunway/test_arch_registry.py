@@ -1,0 +1,93 @@
+"""The architecture registry (PR 8).
+
+``--arch`` on the CLI and ``arch`` on the serve wire resolve through
+this table, so it is the single place a new target plugs in.  These
+tests lock down the lookup semantics (case-insensitive, loud on
+unknowns), the idempotent-but-not-aliasing registration rule, and the
+contract shapes of the two hypothetical variants.
+"""
+
+import pytest
+
+from repro.core.options import CompilerOptions, TileConfig
+from repro.core.tile_model import plan_for_kernel
+from repro.errors import ConfigurationError, SPMOverflowError
+from repro.sunway.arch import (
+    SW26010,
+    SW26010PRO,
+    SW26010PRO_HBM,
+    SW26010PRO_LITE,
+    TOY_ARCH,
+    MicroKernelShape,
+    all_archs,
+    arch_names,
+    get_arch,
+    register_arch,
+)
+
+
+def test_builtin_archs_registered():
+    assert set(arch_names()) >= {
+        "sw26010pro", "sw26010", "toy", "sw26010pro-hbm", "sw26010pro-lite",
+    }
+
+
+def test_lookup_is_case_insensitive():
+    assert get_arch("SW26010Pro") is SW26010PRO
+    assert get_arch("sw26010pro") is SW26010PRO
+    assert get_arch("SW26010PRO-LITE") is SW26010PRO_LITE
+
+
+def test_unknown_arch_lists_known_names():
+    with pytest.raises(ConfigurationError, match="sw26010pro"):
+        get_arch("sw9999")
+
+
+def test_reregistering_same_spec_is_idempotent():
+    assert register_arch(SW26010PRO) is SW26010PRO
+    assert get_arch("sw26010pro") is SW26010PRO
+
+
+def test_reregistering_different_spec_under_same_name_rejected():
+    impostor = SW26010PRO.scaled(spm_bytes=512 * 1024)
+    with pytest.raises(ConfigurationError, match="already registered"):
+        register_arch(impostor)
+    # The registry still serves the original.
+    assert get_arch("sw26010pro") is SW26010PRO
+
+
+def test_all_archs_is_a_snapshot():
+    snapshot = all_archs()
+    snapshot["sw26010pro"] = TOY_ARCH
+    assert get_arch("sw26010pro") is SW26010PRO
+
+
+def test_hbm_variant_shares_the_compute_side():
+    assert SW26010PRO_HBM.micro_kernel == SW26010PRO.micro_kernel
+    assert SW26010PRO_HBM.peak_gflops == SW26010PRO.peak_gflops
+    assert SW26010PRO_HBM.dma_bandwidth_gbs > SW26010PRO.dma_bandwidth_gbs
+
+
+def test_lite_variant_contract_fits_its_spm():
+    """The Lite part's shallower 64×64×16 contract must plan inside its
+    128 KB SPM with the full pipeline — that is why its contract differs
+    from SW26010Pro's in the first place."""
+    assert SW26010PRO_LITE.micro_kernel == MicroKernelShape(64, 64, 16)
+    plan = plan_for_kernel(SW26010PRO_LITE, CompilerOptions.full())
+    assert plan.spm_bytes() <= SW26010PRO_LITE.spm_bytes
+
+
+def test_pro_contract_does_not_fit_lite_spm():
+    with pytest.raises(SPMOverflowError):
+        plan_for_kernel(
+            SW26010PRO_LITE,
+            CompilerOptions.full().with_(tile_config=TileConfig(64, 64, 32)),
+        )
+
+
+def test_describe_carries_register_file_fields():
+    for arch in (SW26010PRO, SW26010, TOY_ARCH):
+        info = arch.describe()
+        assert info["simd_doubles"] == arch.simd_doubles
+        assert info["vector_registers"] == arch.vector_registers
+        assert info["micro_kernel"] == str(arch.micro_kernel)
