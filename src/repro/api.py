@@ -237,17 +237,24 @@ def connect(
     address: Union[str, Tuple[str, int]],
     tenant: str = "default",
     timeout: Optional[float] = 30.0,
+    **client_kw: object,
 ) -> Client:
     """Connect to a running ``swgemm serve`` daemon.
 
     ``address`` is a unix-socket path or a ``(host, port)`` pair.  The
     returned :class:`~repro.serve.client.Client` speaks the same verbs
     as this module (``compile``/``run``/``tune``/``verify``) plus the
-    daemon-side ``ping``/``stats``/``warmup``/``shutdown``, with kernel
-    descriptors as plain dicts::
+    daemon-side ``ping``/``stats``/``health``/``warmup``/``shutdown``,
+    with kernel descriptors as plain dicts::
 
         with api.connect(("127.0.0.1", 7070), tenant="ci") as client:
             client.compile({"arch": "toy", "fusion": "epilogue",
                             "epilogue_func": "sigmoid"})
+
+    Remaining keyword arguments reach the client unchanged — notably
+    the overload knobs ``deadline_ms`` (an end-to-end budget stamped on
+    every request) and ``overload_retries`` /
+    ``overload_retry_budget_s`` (wait out daemon overload and brownout
+    rejections, sleeping the server's ``retry_after_s`` hint).
     """
-    return Client(address, tenant=tenant, timeout=timeout)
+    return Client(address, tenant=tenant, timeout=timeout, **client_kw)

@@ -466,8 +466,510 @@ def _run_phases(config: TraceConfig, address) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# The overload scenario
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OverloadScenario:
+    """Shape of the seeded open-loop overload spike.
+
+    Unlike the mixed window (closed-loop: each tenant waits for its
+    previous response), the spike is **open-loop**: every flood request
+    gets its own connection and fires at a seeded arrival offset whether
+    or not earlier requests have been answered — which is what real
+    overload looks like, and what a closed-loop generator can never
+    produce (it self-throttles exactly when the server slows down)."""
+
+    seed: int = 2022
+    #: flood requests (batch/warmup-priority ``run`` ops) in the spike
+    flood_requests: int = 60
+    #: seconds over which the seeded arrival offsets are spread
+    flood_window_s: float = 1.0
+    #: fraction of flood requests sent at ``warmup`` priority — queued
+    #: warmup work is what batch arrivals shed when the queue fills
+    warmup_fraction: float = 0.25
+    #: end-to-end budget each flood request carries; ``None``
+    #: self-calibrates to ~2.5 measured service times, so the
+    #: expiry proof holds on fast and slow machines alike (a fixed
+    #: budget is either never or always exceeded depending on host speed)
+    flood_deadline_ms: Optional[float] = None
+    #: interactive cached-compile probes fired during and after the spike
+    probes: int = 25
+    #: spacing of the interactive probes
+    probe_interval_s: float = 0.08
+    #: daemon knobs under test
+    workers: int = 1
+    max_queue_depth: int = 8
+    brownout_enter_ms: float = 150.0
+    brownout_exit_ms: float = 75.0
+    brownout_dwell_s: float = 0.75
+    #: problem size of one flood ``run`` (~100 ms on the toy arch — the
+    #: spike outruns a one-worker daemon roughly 6x)
+    flood_shape: Tuple[int, int, int] = (64, 64, 32)
+    arch: str = "toy"
+    #: seconds to wait for the daemon to report healthy again
+    recovery_timeout_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.flood_requests < 1:
+            raise ValueError("flood_requests must be >= 1")
+        if self.flood_window_s <= 0:
+            raise ValueError("flood_window_s must be > 0")
+        if not 0.0 <= self.warmup_fraction <= 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1]")
+
+
+#: Kernel descriptors used only by the brownout cold-probe — they must
+#: not be prewarmed anywhere in the overload scenario.
+_BROWNOUT_COLD_KERNELS: Tuple[Dict[str, Any], ...] = (
+    {"trans_a": True},
+    {"trans_b": True},
+    {"trans_a": True, "trans_b": True},
+)
+
+
+def overload_flood_plan(config: OverloadScenario) -> List[Dict[str, Any]]:
+    """The seeded open-loop spike: arrival offsets (seconds, sorted
+    ascending) and the priority class of each arrival — a pure function
+    of the scenario, like :func:`generate_trace`."""
+    rng = random.Random(config.seed)
+    offsets = sorted(
+        rng.uniform(0.0, config.flood_window_s)
+        for _ in range(config.flood_requests)
+    )
+    return [
+        {
+            "offset_s": offset,
+            "priority": (
+                "warmup"
+                if rng.random() < config.warmup_fraction
+                else "batch"
+            ),
+        }
+        for offset in offsets
+    ]
+
+
+def run_overload_bench(config: Optional[OverloadScenario] = None) -> Dict[str, Any]:
+    """Drive a seeded arrival spike into an overload-protected daemon.
+
+    Self-hosts a deliberately undersized daemon (``workers=1``, bounded
+    queue, brownout enabled, quotas off so only overload mechanisms
+    answer) and produces the ``BENCH_serve_overload.json`` payload with
+    three structural proofs:
+
+    * **zero expired dispatches** — every request whose deadline died
+      carries no ``exec_ms`` in its response meta, i.e. no worker ever
+      executed it;
+    * **interactive latency bounded** — cached interactive probes keep
+      a bounded p99 while the batch flood is shed around them;
+    * **brownout entry and exit** — the hysteresis controller entered
+      under the spike and recovered to healthy after it.
+    """
+    from repro.serve import (
+        OverloadConfig as ServeOverloadConfig,
+        ServeConfig,
+        start_in_thread,
+    )
+    from repro.service import CompileService, ServiceConfig
+
+    config = config or OverloadScenario()
+    overload = ServeOverloadConfig(
+        max_queue_depth=config.max_queue_depth,
+        brownout_enter_ms=config.brownout_enter_ms,
+        brownout_exit_ms=config.brownout_exit_ms,
+        brownout_dwell_s=config.brownout_dwell_s,
+    )
+    service = CompileService(ServiceConfig(admission_threshold=2))
+    handle = start_in_thread(
+        service,
+        ServeConfig(workers=config.workers, quota=None, overload=overload),
+    )
+    address = handle.address
+    try:
+        return _run_overload_phases(config, address, overload)
+    finally:
+        try:
+            Client(address, tenant="overload-admin").shutdown()
+        except Exception:
+            pass
+        handle.stop()
+
+
+def _outcome(response, latency_ms: float) -> Dict[str, Any]:
+    meta = response.meta or {}
+    return {
+        "ok": response.ok,
+        "latency_ms": round(latency_ms, 3),
+        "error": (response.error or {}).get("type"),
+        "retry_after_s": (response.error or {}).get("retry_after_s"),
+        # Present only when a worker actually executed the handler —
+        # the signal behind the zero-expired-dispatches proof.
+        "executed": "exec_ms" in meta,
+    }
+
+
+def _run_overload_phases(
+    config: OverloadScenario, address, overload
+) -> Dict[str, Any]:
+    warm_kernel = {"arch": config.arch}
+    plan = overload_flood_plan(config)
+
+    admin = Client(address, tenant="overload-admin", timeout=120.0)
+    with admin:
+        # Phase 1 — prewarm the one kernel the flood and the probes use,
+        # so flood slowness is pure execution (not compilation) and the
+        # interactive probes are cache hits brownout keeps serving.
+        # Measure the service time of one flood op while we are at it:
+        # the deadline calibrates to it, so the expiry proof holds on
+        # fast and slow hosts alike.
+        admin.compile(warm_kernel)
+        M, N, K = config.flood_shape
+        service_samples = []
+        for _ in range(3):
+            started = time.perf_counter()
+            admin.request(
+                "run", {"arch": config.arch, "M": M, "N": N, "K": K}
+            )
+            service_samples.append(1e3 * (time.perf_counter() - started))
+        service_ms = sorted(service_samples)[1]  # median of three
+        deadline_ms = config.flood_deadline_ms
+        if deadline_ms is None:
+            deadline_ms = max(50.0, 2.5 * service_ms)
+        health_before = admin.health()
+
+        flood_outcomes: List[Optional[Dict[str, Any]]] = [None] * len(plan)
+        # Flood threads + the probe thread + this coordinator all
+        # release together, so offset 0.0 means "the moment the spike
+        # starts", not "whenever thread i got scheduled".
+        barrier = threading.Barrier(len(plan) + 2)
+        spike_clock: Dict[str, float] = {}
+
+        def flood_one(i: int, entry: Dict[str, Any]) -> None:
+            # Open loop: every request owns a connection and a thread,
+            # and fires at its seeded offset regardless of how the
+            # daemon is coping — a blocked request never delays the next
+            # arrival (the self-throttling a closed-loop generator
+            # cannot avoid).  Connections are opened before the barrier
+            # so connect() cost cannot skew arrivals.
+            with Client(
+                address, tenant="flood", timeout=60.0, retry=False
+            ) as client:
+                barrier.wait()
+                delay = entry["offset_s"] - (
+                    time.perf_counter() - spike_clock["start"]
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                started = time.perf_counter()
+                response = client.request_response(
+                    "run",
+                    {"arch": config.arch, "M": M, "N": N, "K": K},
+                    priority=entry["priority"],
+                    deadline_ms=deadline_ms,
+                )
+                outcome = _outcome(
+                    response, 1e3 * (time.perf_counter() - started)
+                )
+                outcome["priority"] = entry["priority"]
+                flood_outcomes[i] = outcome
+
+        probe_outcomes: List[Dict[str, Any]] = []
+
+        def probe() -> None:
+            # Interactive cached compiles, evenly spaced across the
+            # spike and its tail — the latency the flood must not hurt.
+            with Client(
+                address, tenant="probe", timeout=60.0, retry=False
+            ) as client:
+                barrier.wait()
+                for _ in range(config.probes):
+                    started = time.perf_counter()
+                    response = client.request_response(
+                        "compile", warm_kernel, priority="interactive"
+                    )
+                    probe_outcomes.append(
+                        _outcome(
+                            response, 1e3 * (time.perf_counter() - started)
+                        )
+                    )
+                    time.sleep(config.probe_interval_s)
+
+        # Phase 2 — the spike.
+        flood_threads = [
+            threading.Thread(target=flood_one, args=(i, entry), daemon=True)
+            for i, entry in enumerate(plan)
+        ]
+        probe_thread = threading.Thread(target=probe, daemon=True)
+        for thread in flood_threads:
+            thread.start()
+        probe_thread.start()
+        spike_clock["start"] = time.perf_counter()
+        barrier.wait()
+
+        # Phase 3 — watch the health surface flip to brownout, then
+        # probe the degraded tier: a warm compile must still be served,
+        # a cold one must fast-fail with DegradedModeError.
+        states_seen: List[str] = []
+        brownout_warm: Optional[Dict[str, Any]] = None
+        brownout_cold: List[Dict[str, Any]] = []
+        watch_deadline = time.perf_counter() + config.flood_window_s + 10.0
+        while time.perf_counter() < watch_deadline:
+            state = admin.health()["state"]
+            if not states_seen or states_seen[-1] != state:
+                states_seen.append(state)
+            if state == "brownout" and brownout_warm is None:
+                started = time.perf_counter()
+                response = admin.request_response(
+                    "compile", warm_kernel, priority="interactive"
+                )
+                brownout_warm = _outcome(
+                    response, 1e3 * (time.perf_counter() - started)
+                )
+                for kernel in _BROWNOUT_COLD_KERNELS:
+                    response = admin.request_response(
+                        "compile",
+                        {"arch": config.arch, **kernel},
+                        priority="interactive",
+                    )
+                    brownout_cold.append(_outcome(response, 0.0))
+            if brownout_warm is not None and not any(
+                thread.is_alive() for thread in flood_threads
+            ):
+                break
+            time.sleep(0.05)
+        for thread in flood_threads:
+            thread.join(timeout=60.0)
+        probe_thread.join(timeout=60.0)
+
+        # Phase 4 — recovery: with the spike gone, idle observations
+        # decay the EWMA below the exit threshold; wait for healthy.
+        recovery_started = time.perf_counter()
+        recovered = False
+        while time.perf_counter() - recovery_started < config.recovery_timeout_s:
+            if admin.health()["state"] == "healthy":
+                recovered = True
+                break
+            time.sleep(0.05)
+        recovery_s = time.perf_counter() - recovery_started
+
+        health_after = admin.health()
+        stats = admin.stats()["server"]
+
+    flood_done = [o for o in flood_outcomes if o is not None]
+    counters = stats["counters"]
+    queue_stats = stats["pool"]["queue"]
+    brownout_stats = (stats["overload"] or {}).get("brownout") or {}
+
+    def error_counts(outcomes: Sequence[Dict[str, Any]]) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in outcomes:
+            if not outcome["ok"]:
+                name = outcome["error"] or "unknown"
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    expired_total = (
+        counters["deadline_expired_queue"]
+        + counters["deadline_expired_dispatch"]
+    )
+    expired_executed = sum(
+        1
+        for o in flood_done
+        if o["error"] == "DeadlineExceededError" and o["executed"]
+    )
+    probe_latencies = sorted(
+        o["latency_ms"] for o in probe_outcomes if o["ok"]
+    )
+    cold_rejected = sum(
+        1 for o in brownout_cold if o["error"] == "DegradedModeError"
+    )
+    retry_hints = [
+        o["retry_after_s"]
+        for o in flood_done
+        if o["retry_after_s"] is not None
+    ]
+
+    return {
+        "figure": "serve_overload",
+        "arch": config.arch,
+        "scenario": {
+            "seed": config.seed,
+            "flood_requests": config.flood_requests,
+            "flood_window_s": config.flood_window_s,
+            "warmup_fraction": config.warmup_fraction,
+            "flood_deadline_ms": round(deadline_ms, 3),
+            "deadline_calibrated": config.flood_deadline_ms is None,
+            "service_time_ms": round(service_ms, 3),
+            "flood_shape": list(config.flood_shape),
+            "probes": config.probes,
+            "workers": config.workers,
+            "max_queue_depth": config.max_queue_depth,
+            "brownout_enter_ms": config.brownout_enter_ms,
+            "brownout_exit_ms": config.brownout_exit_ms,
+            "brownout_dwell_s": config.brownout_dwell_s,
+            "arrival_digest": trace_digest(
+                [
+                    {
+                        "offset_us": int(1e6 * e["offset_s"]),
+                        "priority": e["priority"],
+                    }
+                    for e in plan
+                ]
+            ),
+        },
+        "flood": {
+            "sent": len(flood_done),
+            "ok": sum(1 for o in flood_done if o["ok"]),
+            "errors": error_counts(flood_done),
+            "priorities": {
+                p: sum(1 for e in plan if e["priority"] == p)
+                for p in ("batch", "warmup")
+            },
+        },
+        "interactive": {
+            "probes": len(probe_outcomes),
+            "ok": len(probe_latencies),
+            "errors": error_counts(probe_outcomes),
+            "p50_ms": round(percentile(probe_latencies, 0.50), 3),
+            "p99_ms": round(percentile(probe_latencies, 0.99), 3),
+            "max_ms": round(probe_latencies[-1], 3) if probe_latencies else 0.0,
+        },
+        "deadlines": {
+            "expired_in_queue": counters["deadline_expired_queue"],
+            "expired_at_dispatch": counters["deadline_expired_dispatch"],
+            "expired_total": expired_total,
+            "expired_executed": expired_executed,
+            "proof_zero_expired_dispatched": (
+                expired_total > 0 and expired_executed == 0
+            ),
+        },
+        "shedding": {
+            "rejected": counters["overload_rejected"],
+            "shed": counters["overload_shed"],
+            "queue": {
+                "caps": queue_stats["caps"],
+                "high_water": queue_stats["high_water"],
+                "rejected": queue_stats["rejected"],
+                "shed": queue_stats["shed"],
+                "expired": queue_stats["expired"],
+            },
+            "retry_after_s": {
+                "hints": len(retry_hints),
+                "min": round(min(retry_hints), 3) if retry_hints else None,
+                "max": round(max(retry_hints), 3) if retry_hints else None,
+            },
+        },
+        "brownout": {
+            "entered": brownout_stats.get("entered", 0),
+            "exited": brownout_stats.get("exited", 0),
+            "states_seen": states_seen,
+            "state_before": health_before["state"],
+            "state_after": health_after["state"],
+            "recovered": recovered,
+            "recovery_s": round(recovery_s, 3),
+            "warm_served": brownout_warm,
+            "cold_probes": len(brownout_cold),
+            "cold_rejected": cold_rejected,
+            "warm_served_counter": counters["brownout_warm_served"],
+            "rejected_counter": counters["brownout_rejected"],
+            "transitions": brownout_stats.get("transitions", []),
+        },
+        "proofs": {
+            "zero_expired_dispatched": (
+                expired_total > 0 and expired_executed == 0
+            ),
+            "interactive_p99_bounded": bool(probe_latencies),
+            "brownout_entered": brownout_stats.get("entered", 0) >= 1,
+            "brownout_recovered": recovered,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
+
+
+def _main_overload(args) -> int:
+    """The ``--scenario overload`` leg of :func:`main`."""
+    scenario = OverloadScenario(
+        seed=args.seed,
+        flood_requests=args.flood_requests,
+        flood_window_s=args.flood_window,
+        flood_deadline_ms=args.flood_deadline_ms,
+        max_queue_depth=args.max_queue_depth,
+        brownout_enter_ms=args.brownout_enter_ms,
+        brownout_exit_ms=args.brownout_exit_ms,
+        arch=args.arch,
+    )
+    payload = run_overload_bench(scenario)
+
+    flood = payload["flood"]
+    deadlines = payload["deadlines"]
+    interactive = payload["interactive"]
+    brownout = payload["brownout"]
+    print(
+        f"spike: {flood['sent']} open-loop requests over "
+        f"{payload['scenario']['flood_window_s']}s against "
+        f"{payload['scenario']['workers']} worker(s); "
+        f"{flood['ok']} served, errors {flood['errors']}"
+    )
+    print(
+        f"deadlines: {deadlines['expired_in_queue']} expired in queue, "
+        f"{deadlines['expired_at_dispatch']} at dispatch, "
+        f"{deadlines['expired_executed']} executed by a worker "
+        f"({'OK' if deadlines['proof_zero_expired_dispatched'] else 'VIOLATED'})"
+    )
+    print(
+        f"interactive probes: {interactive['ok']}/{interactive['probes']} ok, "
+        f"p50 {interactive['p50_ms']} ms, p99 {interactive['p99_ms']} ms"
+    )
+    print(
+        f"brownout: entered {brownout['entered']}x, exited "
+        f"{brownout['exited']}x, states {'>'.join(brownout['states_seen'])}, "
+        f"recovery {brownout['recovery_s']}s, warm served "
+        f"{brownout['warm_served_counter']}, cold rejected "
+        f"{brownout['rejected_counter']}"
+    )
+    print(
+        f"shedding: {payload['shedding']['rejected']} rejected, "
+        f"{payload['shedding']['shed']} shed, queue high-water "
+        f"{payload['shedding']['queue']['high_water']} "
+        f"(caps {payload['shedding']['queue']['caps']})"
+    )
+    print(
+        f"arrival digest {payload['scenario']['arrival_digest'][:16]} "
+        f"(seed {args.seed})"
+    )
+
+    output = args.output
+    if output == "BENCH_serve.json":  # scenario-specific default
+        output = "BENCH_serve_overload.json"
+    if output != "-":
+        from repro.bench.harness import write_bench_file
+
+        path = write_bench_file(output, payload)
+        print(f"wrote {path}")
+
+    failed = False
+    if args.assert_proofs:
+        for name, held in payload["proofs"].items():
+            if not held:
+                print(f"FAIL: proof {name} violated", file=sys.stderr)
+                failed = True
+    if (
+        args.assert_interactive_p99_ms is not None
+        and interactive["p99_ms"] > args.assert_interactive_p99_ms
+    ):
+        print(
+            f"FAIL: interactive p99 {interactive['p99_ms']} ms exceeds "
+            f"{args.assert_interactive_p99_ms} ms",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -475,6 +977,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.bench.loadgen",
         description="Replay a seeded multi-tenant trace against the "
         "compilation daemon and report serving metrics.",
+    )
+    parser.add_argument(
+        "--scenario", choices=("mixed", "overload"), default="mixed",
+        help="'mixed': closed-loop multi-tenant window (BENCH_serve); "
+        "'overload': open-loop arrival spike against a bounded, "
+        "brownout-enabled daemon (BENCH_serve_overload)",
     )
     parser.add_argument("--seed", type=int, default=2022)
     parser.add_argument("--requests", type=int, default=1200)
@@ -507,7 +1015,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--assert-hit-rate", type=float, default=None, metavar="FRACTION",
         help="fail (exit 1) if the cache hit rate is below FRACTION",
     )
+    parser.add_argument(
+        "--flood-requests", type=int, default=60,
+        help="[overload] spike size (default: 60)",
+    )
+    parser.add_argument(
+        "--flood-window", type=float, default=1.0, metavar="SECONDS",
+        help="[overload] spike arrival window (default: 1.0)",
+    )
+    parser.add_argument(
+        "--flood-deadline-ms", type=float, default=None, metavar="MS",
+        help="[overload] per-request end-to-end budget (default: "
+        "self-calibrated to ~2.5 measured service times)",
+    )
+    parser.add_argument(
+        "--max-queue-depth", type=int, default=8, metavar="N",
+        help="[overload] daemon queue bound under test (default: 8)",
+    )
+    parser.add_argument(
+        "--brownout-enter-ms", type=float, default=150.0, metavar="MS",
+        help="[overload] brownout entry threshold (default: 150)",
+    )
+    parser.add_argument(
+        "--brownout-exit-ms", type=float, default=75.0, metavar="MS",
+        help="[overload] brownout exit threshold (default: 75)",
+    )
+    parser.add_argument(
+        "--assert-interactive-p99-ms", type=float, default=None, metavar="MS",
+        help="[overload] fail (exit 1) if interactive-probe p99 exceeds MS",
+    )
+    parser.add_argument(
+        "--assert-proofs", action="store_true",
+        help="[overload] fail (exit 1) unless every structural proof "
+        "holds: >0 deadline expirations, 0 expired dispatches, brownout "
+        "entered and recovered",
+    )
     args = parser.parse_args(argv)
+
+    if args.scenario == "overload":
+        return _main_overload(args)
 
     tenant_names = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta",
                     "eta", "theta")

@@ -641,7 +641,12 @@ def cmd_serve(args) -> int:
     import asyncio
     import signal
 
-    from repro.serve import KernelServer, QuotaConfig, ServeConfig
+    from repro.serve import (
+        KernelServer,
+        OverloadConfig,
+        QuotaConfig,
+        ServeConfig,
+    )
     from repro.service import CompileService, ServiceConfig, default_cache_dir
 
     _validate_cache_dir(args)
@@ -667,6 +672,13 @@ def cmd_serve(args) -> int:
             capacity=args.quota_capacity, refill_per_s=args.quota_refill
         )
     )
+    overload = OverloadConfig(
+        max_queue_depth=args.max_queue_depth,
+        deadline_default_ms=args.deadline_default_ms,
+        brownout_enter_ms=args.brownout_enter_ms,
+        brownout_exit_ms=args.brownout_exit_ms,
+        brownout_dwell_s=args.brownout_dwell,
+    )
     server = KernelServer(
         service,
         ServeConfig(
@@ -681,6 +693,7 @@ def cmd_serve(args) -> int:
             poison_threshold=args.poison_threshold,
             worker_deadline_s=args.worker_deadline,
             memory_budget_mb=args.memory_budget_mb,
+            overload=overload if overload.enabled else None,
         ),
     )
 
@@ -692,10 +705,29 @@ def cmd_serve(args) -> int:
             else f"{quota.capacity:g} tokens @ {quota.refill_per_s:g}/s per tenant"
         )
         journal = "off" if args.journal_dir is None else args.journal_dir
+        guard = (
+            "off"
+            if not overload.enabled
+            else ", ".join(
+                part
+                for part, on in (
+                    (f"depth={args.max_queue_depth}",
+                     args.max_queue_depth is not None),
+                    (f"deadline={args.deadline_default_ms:g}ms"
+                     if args.deadline_default_ms is not None else "",
+                     args.deadline_default_ms is not None),
+                    (f"brownout@{args.brownout_enter_ms:g}ms"
+                     if args.brownout_enter_ms is not None else "",
+                     args.brownout_enter_ms is not None),
+                )
+                if on
+            )
+        )
         print(
             f"swgemm serve: listening on {shown} "
             f"(workers={args.workers}, quotas={quotas}, "
-            f"isolation={args.isolation}, journal={journal})"
+            f"isolation={args.isolation}, journal={journal}, "
+            f"overload={guard})"
         )
         replay = server._replay_remaining
         if replay:
@@ -975,6 +1007,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--memory-budget-mb", type=float, default=None, metavar="MIB",
         help="peak-RSS budget of one isolated compile job; an "
         "over-budget worker is recycled (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="N",
+        help="bound the request queue: interactive arrivals are admitted "
+        "up to N queued requests, batch up to 2N/3, warmup up to N/3; "
+        "over-watermark arrivals shed lower-priority queued work or are "
+        "rejected with a retry-after hint (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--deadline-default-ms", type=float, default=None, metavar="MS",
+        help="end-to-end budget stamped on requests that carry no "
+        "deadline of their own; requests whose budget expires while "
+        "queued are shed before reaching a worker (default: none)",
+    )
+    p_serve.add_argument(
+        "--brownout-enter-ms", type=float, default=None, metavar="MS",
+        help="EWMA queue-wait threshold that enters brownout: compile "
+        "misses fast-fail, cache hits and read-only ops keep flowing "
+        "(default: brownout off)",
+    )
+    p_serve.add_argument(
+        "--brownout-exit-ms", type=float, default=None, metavar="MS",
+        help="EWMA queue-wait threshold that exits brownout; must be "
+        "below --brownout-enter-ms (default: half of it)",
+    )
+    p_serve.add_argument(
+        "--brownout-dwell", type=float, default=2.0, metavar="SECONDS",
+        help="minimum seconds spent in brownout before an exit is "
+        "allowed — the anti-flap leg of the hysteresis (default: 2)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -199,6 +199,67 @@ class ServerDrainingError(ServeError):
     draining: queued work still completes, but no new work is accepted."""
 
 
+class OverloadError(ServeError):
+    """Raised when a bounded :class:`repro.serve.queue.FairPriorityQueue`
+    cannot admit a request: its priority class is at capacity and no
+    lower-priority queued work exists to shed.  Carries the retry hint
+    the admission layer computed from the observed queue-drain rate so
+    clients can back off intelligently instead of hammering."""
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: float = 1.0,
+        priority: str = "",
+        shed: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.priority = priority
+        #: ``True`` when the request *was* queued but got evicted to make
+        #: room for a higher-priority arrival (priority-aware shedding).
+        self.shed = shed
+
+
+class DeadlineExceededError(ServeError):
+    """Raised when a request's end-to-end ``deadline_ms`` budget runs
+    out while the request is still inside the daemon.  ``phase`` records
+    where the budget died: ``"queue"`` (shed before dispatch — no worker
+    was ever wasted on it) or ``"dispatch"`` (the rare race where the
+    budget expired between dequeue and execution start)."""
+
+    def __init__(
+        self, message: str, deadline_ms: float = 0.0, phase: str = "queue"
+    ) -> None:
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+        self.phase = phase
+
+
+class DegradedModeError(ServeError):
+    """Raised while the daemon is in brownout: sustained queue-wait
+    pressure tripped the hysteresis controller, so compile *misses* (and
+    other cold, expensive ops) are fast-failed while cache hits and
+    read-only ops keep being served — the content-addressed cache is the
+    degraded tier.  Carries a ``retry_after_s`` drain-rate hint."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ClientTimeout(ServeError):
+    """Raised client-side when the daemon accepted the connection but no
+    response arrived within the socket timeout.  Distinct from a dropped
+    connection on purpose: the request may still be executing server-side
+    (a slow compile), so blindly resending would double the work — the
+    client surfaces this instead of retrying."""
+
+    def __init__(self, message: str, timeout_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.timeout_s = timeout_s
+
+
 class WorkerCrashError(ServeError):
     """Raised when an isolated compile worker dies (or is killed) before
     delivering a result: a hard crash (``SystemExit``/signal), a hung

@@ -16,6 +16,9 @@ blocking worker pool, and a blocking client.  Layers:
   circuit breaker;
 * :mod:`repro.serve.journal` — the fsync'd write-ahead request journal
   replayed after a crash;
+* :mod:`repro.serve.overload` — overload protection: bounded-queue
+  admission watermarks, deadline-budget arithmetic, and the brownout
+  hysteresis controller;
 * :mod:`repro.serve.server` — :class:`KernelServer`, the daemon;
 * :mod:`repro.serve.client` — :class:`Client`, the blocking caller
   (re-exported as ``repro.api.Client`` / ``repro.api.connect``).
@@ -24,6 +27,17 @@ blocking worker pool, and a blocking client.  Layers:
 from repro.serve.client import IDEMPOTENT_OPS, Client, RemoteError
 from repro.serve.isolation import CircuitBreaker, ProcessIsolation
 from repro.serve.journal import RequestJournal
+from repro.serve.overload import (
+    BROWNOUT,
+    HEALTHY,
+    BrownoutController,
+    OverloadConfig,
+    class_caps,
+    deadline_at,
+    is_expired,
+    merge_timeout,
+    remaining_s,
+)
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     OPS,
@@ -45,16 +59,20 @@ from repro.serve.server import (
 from repro.serve.workers import WorkerPool
 
 __all__ = [
+    "BROWNOUT",
+    "BrownoutController",
     "CircuitBreaker",
     "Client",
     "DEFAULT_COSTS",
     "DEFAULT_PRIORITY",
     "FairPriorityQueue",
+    "HEALTHY",
     "IDEMPOTENT_OPS",
     "JOURNALED_OPS",
     "KernelServer",
     "MAX_FRAME_BYTES",
     "OPS",
+    "OverloadConfig",
     "PRIORITIES",
     "PROTOCOL_VERSION",
     "ProcessIsolation",
@@ -67,7 +85,12 @@ __all__ = [
     "ServeConfig",
     "ServerHandle",
     "WorkerPool",
+    "class_caps",
+    "deadline_at",
     "decode_frame",
     "encode_frame",
+    "is_expired",
+    "merge_timeout",
+    "remaining_s",
     "start_in_thread",
 ]

@@ -24,6 +24,10 @@ import uuid
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.errors import (
+    ClientTimeout,
+    DeadlineExceededError,
+    DegradedModeError,
+    OverloadError,
     PoisonedKernelError,
     ProtocolError,
     QuotaExceededError,
@@ -49,6 +53,9 @@ _ERROR_TYPES = {
     "ProtocolError": ProtocolError,
     "WorkerCrashError": WorkerCrashError,
     "PoisonedKernelError": PoisonedKernelError,
+    "OverloadError": OverloadError,
+    "DegradedModeError": DegradedModeError,
+    "DeadlineExceededError": DeadlineExceededError,
 }
 
 #: Ops safe to resend after a dropped connection: read-only probes plus
@@ -57,8 +64,14 @@ _ERROR_TYPES = {
 #: is deliberately absent — resending it could kill a *restarted*
 #: daemon.
 IDEMPOTENT_OPS = frozenset(
-    {"ping", "stats", "compile", "run", "tune", "verify", "warmup"}
+    {"ping", "stats", "health", "compile", "run", "tune", "verify", "warmup"}
 )
+
+#: Server rejections that carry a ``retry_after_s`` hint and are worth
+#: retrying after waiting it out (the overload clears as the queue
+#: drains).  Deadline expiry is deliberately absent: the caller's
+#: budget is gone, a retry cannot bring it back.
+_RETRYABLE_OVERLOAD = (OverloadError, DegradedModeError)
 
 
 class RemoteError(ServeError):
@@ -77,9 +90,19 @@ def raise_for_error(error: Dict[str, Any]) -> None:
     remote_type = str(error.get("type", "ServeError"))
     message = str(error.get("message", "server reported an error"))
     cls = _ERROR_TYPES.get(remote_type)
+    exc: ServeError
     if cls is not None:
-        raise cls(message)
-    raise RemoteError(remote_type, message)
+        exc = cls(message)
+    else:
+        exc = RemoteError(remote_type, message)
+    # Overload rejections ship the server's drain-rate estimate; carry
+    # it onto the local exception so retry loops can honour it.
+    retry_after = error.get("retry_after_s")
+    if isinstance(retry_after, (int, float)) and not isinstance(
+        retry_after, bool
+    ):
+        exc.retry_after_s = float(retry_after)
+    raise exc
 
 
 class Client:
@@ -97,6 +120,9 @@ class Client:
         timeout: Optional[float] = 30.0,
         retry: bool = True,
         retry_backoff_s: float = 0.05,
+        overload_retries: int = 0,
+        overload_retry_budget_s: float = 10.0,
+        deadline_ms: Optional[float] = None,
         _sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.address = address
@@ -107,6 +133,19 @@ class Client:
         #: op outside :data:`IDEMPOTENT_OPS` never retries.
         self.retry = retry
         self.retry_backoff_s = retry_backoff_s
+        #: How many overload/degraded rejections :meth:`request` waits
+        #: out (honouring the server's ``retry_after_s`` hint) before
+        #: surfacing the error.  0 — the default — surfaces immediately.
+        self.overload_retries = overload_retries
+        #: Total seconds :meth:`request` may spend sleeping on
+        #: ``retry_after_s`` hints across *all* its overload retries —
+        #: the per-client retry budget that stops a polite client from
+        #: waiting forever on a drowning daemon.
+        self.overload_retry_budget_s = overload_retry_budget_s
+        #: End-to-end budget attached to every request that does not
+        #: set its own; ``None`` sends no deadline (the historical
+        #: wire format, byte-identical).
+        self.deadline_ms = deadline_ms
         self._sleep = _sleep
         self._rng = random.Random()
         self._lock = threading.Lock()
@@ -114,6 +153,7 @@ class Client:
         self._rfile = None
         self.requests_sent = 0
         self.retries = 0
+        self.overload_retried = 0
         self._closed = False
         self._connect()
 
@@ -142,27 +182,57 @@ class Client:
         op: str,
         params: Optional[Dict[str, Any]] = None,
         priority: str = DEFAULT_PRIORITY,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
-        """Send one request; return the result dict or raise its error."""
-        response = self.request_response(op, params, priority=priority)
-        if not response.ok:
-            raise_for_error(response.error or {})
-        return response.result if isinstance(response.result, dict) else {}
+        """Send one request; return the result dict or raise its error.
+
+        With ``overload_retries`` configured, overload/brownout
+        rejections are waited out (sleeping the server's
+        ``retry_after_s`` hint, clipped to what is left of the
+        per-client ``overload_retry_budget_s``) and resent; the last
+        rejection surfaces once retries or budget run out."""
+        budget_s = self.overload_retry_budget_s
+        for attempt in range(self.overload_retries + 1):
+            response = self.request_response(
+                op, params, priority=priority, deadline_ms=deadline_ms
+            )
+            if response.ok:
+                return (
+                    response.result
+                    if isinstance(response.result, dict)
+                    else {}
+                )
+            try:
+                raise_for_error(response.error or {})
+            except _RETRYABLE_OVERLOAD as exc:
+                wait_s = min(
+                    getattr(exc, "retry_after_s", 1.0), max(0.0, budget_s)
+                )
+                if attempt >= self.overload_retries or wait_s <= 0.0:
+                    raise
+                budget_s -= wait_s
+                self.overload_retried += 1
+                self._sleep(wait_s)
+        raise ServeError("unreachable: overload retry loop exited")
 
     def request_response(
         self,
         op: str,
         params: Optional[Dict[str, Any]] = None,
         priority: str = DEFAULT_PRIORITY,
+        deadline_ms: Optional[float] = None,
     ) -> Response:
         """Like :meth:`request` but hands back the raw :class:`Response`
         (the load generator wants meta and errors without exceptions)."""
+        if deadline_ms is None:
+            deadline_ms = self.deadline_ms
         request = Request(
             id=uuid.uuid4().hex[:12],
             op=op,
             tenant=self.tenant,
             priority=priority,
             params=dict(params or {}),
+            deadline_ms=deadline_ms,
         )
         attempts = 2 if (self.retry and op in IDEMPOTENT_OPS) else 1
         with self._lock:
@@ -182,6 +252,23 @@ class Client:
                             "daemon closed the connection without responding"
                         )
                     break
+                except socket.timeout as exc:
+                    # A timeout is NOT a dropped connection: the daemon
+                    # most likely accepted the request and is still
+                    # working on it.  Blindly resending would double the
+                    # server's work exactly when it is slowest — the
+                    # classic retry-storm amplifier — so surface a
+                    # distinct error and let the caller decide.  The
+                    # stream is desynchronised (a late response would be
+                    # mismatched to the next request), so the connection
+                    # itself must still be torn down.
+                    self._close_unlocked()
+                    raise ClientTimeout(
+                        f"no response from daemon within "
+                        f"{self.timeout}s for op {op!r}; the request may "
+                        "still be executing server-side (not retried)",
+                        timeout_s=float(self.timeout or 0.0),
+                    ) from exc
                 except OSError as exc:
                     # The lock is held here; close() would re-take it
                     # and deadlock, so tear the connection down
@@ -212,6 +299,10 @@ class Client:
 
     def stats(self) -> Dict[str, Any]:
         return self.request("stats")
+
+    def health(self) -> Dict[str, Any]:
+        """Readiness probe: state, queue depths, overload counters."""
+        return self.request("health")
 
     def compile(
         self, params: Optional[Dict[str, Any]] = None,

@@ -430,9 +430,18 @@ class ProcessIsolation:
             self._replace(worker, killed=True)
             self.timeouts += 1
             strikes = self.breaker.record_failure(key)
+            # Say which budget actually fired: the caller's propagated
+            # end-to-end deadline, or this pool's own worker deadline —
+            # an operator tuning --worker-deadline should not chase
+            # timeouts that a tenant's deadline_ms caused.
+            which = (
+                "propagated request deadline"
+                if timeout_s is not None and float(timeout_s) < self.deadline_s
+                else "worker deadline"
+            )
             raise CompileTimeout(
                 f"isolated compile of kernel {key[:16]}… exceeded its "
-                f"{deadline:g}s deadline; worker killed and replaced "
+                f"{deadline:g}s {which}; worker killed and replaced "
                 f"(strike {strikes}/{self.breaker.threshold})",
                 timeout_s=deadline,
             )

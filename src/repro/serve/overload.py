@@ -1,0 +1,361 @@
+"""Overload protection for the serving daemon.
+
+The crash-safety layers (worker isolation, the write-ahead journal)
+protect the daemon from *failure*; this module protects it from
+*success* — a traffic spike that outruns the worker pool.  Three
+mechanisms compose, all **off by default** (an unconfigured daemon is
+byte-identical to the pre-overload wire behaviour):
+
+* **Bounded queues** — :class:`OverloadConfig.max_queue_depth` derives
+  per-class admission watermarks (``warmup < batch < interactive``) for
+  the :class:`~repro.serve.queue.FairPriorityQueue`; arrivals beyond a
+  watermark shed queued lower-priority work first and are otherwise
+  rejected with a structured :class:`~repro.errors.OverloadError`
+  carrying a ``retry_after_s`` hint computed from the observed drain
+  rate.
+
+* **Deadline propagation** — requests carry a ``deadline_ms`` budget;
+  the pure helpers here (:func:`deadline_at`, :func:`remaining_s`,
+  :func:`is_expired`, :func:`merge_timeout`) are the single source of
+  budget arithmetic, shared by the queue (shed-before-dispatch), the
+  dispatch path (budget → worker ``timeout_s``) and the property tests.
+
+* **Brownout** — :class:`BrownoutController`, a two-state hysteresis
+  machine over an EWMA of queue-wait time.  Under sustained overload it
+  flips to ``brownout``: cache hits and read-only ops keep flowing,
+  compile misses fast-fail with
+  :class:`~repro.errors.DegradedModeError` — the content-addressed
+  cache becomes the degraded serving tier, exactly like an inference
+  server shedding cold requests while serving warm ones.  The clock is
+  injectable so tests and the benchmark can drive transitions
+  deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Fraction of ``max_queue_depth`` each priority class may see the
+#: queue fill to before its arrivals stop being admitted.  Interactive
+#: traffic owns the full depth; batch is refused earlier; warmup
+#: earliest — so as pressure builds, the queue sheds load classes in
+#: reverse priority order long before user-facing traffic notices.
+CLASS_WATERMARKS: Dict[str, float] = {
+    "interactive": 1.0,
+    "batch": 2.0 / 3.0,
+    "warmup": 1.0 / 3.0,
+}
+
+
+def class_caps(max_depth: int) -> Dict[str, int]:
+    """Per-class admission watermarks derived from one depth knob.
+
+    Every class gets at least one slot, and the ordering
+    ``warmup <= batch <= interactive`` always holds.
+    """
+    if max_depth < 1:
+        raise ConfigurationError(
+            f"max_queue_depth must be >= 1, got {max_depth}"
+        )
+    caps = {
+        name: max(1, int(max_depth * fraction))
+        for name, fraction in CLASS_WATERMARKS.items()
+    }
+    caps["batch"] = min(caps["batch"], caps["interactive"])
+    caps["warmup"] = min(caps["warmup"], caps["batch"])
+    return caps
+
+
+# ---------------------------------------------------------------------------
+# Deadline-budget arithmetic (pure, property-tested)
+# ---------------------------------------------------------------------------
+
+
+def deadline_at(received_s: float, deadline_ms: float) -> float:
+    """Absolute monotonic deadline from a receipt time and a budget."""
+    return received_s + deadline_ms / 1e3
+
+
+def remaining_s(deadline_at_s: Optional[float], now_s: float) -> Optional[float]:
+    """Seconds of budget left; never negative; ``None`` when unbounded."""
+    if deadline_at_s is None:
+        return None
+    return max(0.0, deadline_at_s - now_s)
+
+
+def is_expired(deadline_at_s: Optional[float], now_s: float) -> bool:
+    """Whether the budget is gone (unbounded deadlines never expire)."""
+    if deadline_at_s is None:
+        return False
+    return now_s >= deadline_at_s
+
+
+def merge_timeout(
+    timeout_s: Optional[float], budget_s: Optional[float]
+) -> Optional[float]:
+    """The effective worker deadline: the tighter of an explicit
+    per-request ``timeout`` and the remaining end-to-end budget."""
+    if timeout_s is None:
+        return budget_s
+    if budget_s is None:
+        return timeout_s
+    return min(timeout_s, budget_s)
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Every overload-protection knob of one daemon.
+
+    All features default to off; an all-default ``OverloadConfig`` is
+    equivalent to not configuring one at all.
+    """
+
+    #: Queue-depth watermark of the interactive class; batch and warmup
+    #: get 2/3 and 1/3 of it (see :func:`class_caps`).  ``None`` leaves
+    #: the queue unbounded (the historical behaviour).
+    max_queue_depth: Optional[int] = None
+    #: End-to-end budget stamped on requests that do not carry their own
+    #: ``deadline_ms``; ``None`` means no default deadline.
+    deadline_default_ms: Optional[float] = None
+    #: EWMA queue-wait threshold that enters brownout; ``None`` disables
+    #: the brownout state machine entirely.
+    brownout_enter_ms: Optional[float] = None
+    #: EWMA queue-wait threshold that exits brownout (must be strictly
+    #: below ``brownout_enter_ms``); defaults to half of it.
+    brownout_exit_ms: Optional[float] = None
+    #: Minimum seconds spent in brownout before an exit is allowed —
+    #: the dwell leg of the hysteresis, so a single fast dequeue cannot
+    #: flap the daemon back to healthy.
+    brownout_dwell_s: float = 2.0
+    #: Smoothing factor of the queue-wait EWMA (0 < alpha <= 1).
+    ewma_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 1 or None, got "
+                f"{self.max_queue_depth}"
+            )
+        if (
+            self.deadline_default_ms is not None
+            and self.deadline_default_ms <= 0
+        ):
+            raise ConfigurationError(
+                f"deadline_default_ms must be > 0 or None, got "
+                f"{self.deadline_default_ms}"
+            )
+        if self.brownout_enter_ms is not None and self.brownout_enter_ms <= 0:
+            raise ConfigurationError(
+                f"brownout_enter_ms must be > 0 or None, got "
+                f"{self.brownout_enter_ms}"
+            )
+        if self.brownout_exit_ms is not None:
+            if self.brownout_enter_ms is None:
+                raise ConfigurationError(
+                    "brownout_exit_ms requires brownout_enter_ms"
+                )
+            if not 0 < self.brownout_exit_ms < self.brownout_enter_ms:
+                raise ConfigurationError(
+                    "brownout_exit_ms must be in (0, brownout_enter_ms); "
+                    f"got {self.brownout_exit_ms} vs enter "
+                    f"{self.brownout_enter_ms}"
+                )
+        if self.brownout_dwell_s < 0:
+            raise ConfigurationError(
+                f"brownout_dwell_s must be >= 0, got {self.brownout_dwell_s}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any overload mechanism is actually configured."""
+        return (
+            self.max_queue_depth is not None
+            or self.deadline_default_ms is not None
+            or self.brownout_enter_ms is not None
+        )
+
+    def caps(self) -> Optional[Dict[str, int]]:
+        if self.max_queue_depth is None:
+            return None
+        return class_caps(self.max_queue_depth)
+
+    def controller(
+        self, clock: Callable[[], float] = time.monotonic
+    ) -> Optional["BrownoutController"]:
+        if self.brownout_enter_ms is None:
+            return None
+        return BrownoutController(
+            enter_ms=self.brownout_enter_ms,
+            exit_ms=self.brownout_exit_ms,
+            min_dwell_s=self.brownout_dwell_s,
+            alpha=self.ewma_alpha,
+            clock=clock,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "max_queue_depth": self.max_queue_depth,
+            "class_caps": self.caps(),
+            "deadline_default_ms": self.deadline_default_ms,
+            "brownout_enter_ms": self.brownout_enter_ms,
+            "brownout_exit_ms": (
+                self.brownout_exit_ms
+                if self.brownout_exit_ms is not None
+                else (
+                    self.brownout_enter_ms / 2.0
+                    if self.brownout_enter_ms is not None
+                    else None
+                )
+            ),
+            "brownout_dwell_s": self.brownout_dwell_s,
+            "ewma_alpha": self.ewma_alpha,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Brownout hysteresis
+# ---------------------------------------------------------------------------
+
+HEALTHY = "healthy"
+BROWNOUT = "brownout"
+
+
+class BrownoutController:
+    """Two-state hysteresis over an EWMA of queue-wait time.
+
+    ``observe(wait_ms)`` feeds one dequeued request's queue wait;
+    ``idle()`` feeds a zero (called when the daemon sees the queue
+    empty, so a flood that stops entirely still lets the EWMA decay and
+    the daemon recover).  Transitions::
+
+        healthy  → brownout   when  ewma >= enter_ms
+        brownout → healthy    when  ewma <= exit_ms
+                              and at least min_dwell_s elapsed in brownout
+
+    ``exit_ms < enter_ms`` plus the dwell give the hysteresis: the
+    controller never flaps on a single observation.  The whole machine
+    is a pure function of the observation sequence and the (injectable)
+    clock — tests and the benchmark replay it deterministically.
+
+    Thread-safe: ``observe`` arrives from worker threads (the queue's
+    ``wait_observer``) while ``idle`` and ``state`` reads come from the
+    event loop, so the EWMA read-modify-write and the transition logic
+    run under a private lock.
+    """
+
+    def __init__(
+        self,
+        enter_ms: float,
+        exit_ms: Optional[float] = None,
+        min_dwell_s: float = 2.0,
+        alpha: float = 0.3,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if enter_ms <= 0:
+            raise ConfigurationError(f"enter_ms must be > 0, got {enter_ms}")
+        if exit_ms is None:
+            exit_ms = enter_ms / 2.0
+        if not 0 < exit_ms < enter_ms:
+            raise ConfigurationError(
+                f"exit_ms must be in (0, enter_ms={enter_ms}), got {exit_ms}"
+            )
+        if min_dwell_s < 0:
+            raise ConfigurationError(
+                f"min_dwell_s must be >= 0, got {min_dwell_s}"
+            )
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.enter_ms = enter_ms
+        self.exit_ms = exit_ms
+        self.min_dwell_s = min_dwell_s
+        self.alpha = alpha
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = HEALTHY
+        self._ewma_ms: Optional[float] = None
+        self._entered_at: Optional[float] = None
+        self.observations = 0
+        self.entered = 0
+        self.exited = 0
+        #: Bounded transition log (state, monotonic time, ewma at flip).
+        self.transitions: List[Dict[str, object]] = []
+        self._max_transitions = 64
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def ewma_ms(self) -> float:
+        return self._ewma_ms if self._ewma_ms is not None else 0.0
+
+    def observe(self, wait_ms: float) -> str:
+        """Feed one queue-wait sample; returns the (possibly new) state."""
+        wait_ms = max(0.0, float(wait_ms))
+        with self._lock:
+            self.observations += 1
+            if self._ewma_ms is None:
+                self._ewma_ms = wait_ms
+            else:
+                self._ewma_ms = (
+                    self.alpha * wait_ms + (1.0 - self.alpha) * self._ewma_ms
+                )
+            return self._transition()
+
+    def idle(self) -> str:
+        """A zero-wait observation: the queue was seen empty."""
+        return self.observe(0.0)
+
+    def _transition(self) -> str:
+        now = self._clock()
+        ewma = self.ewma_ms
+        if self._state == HEALTHY and ewma >= self.enter_ms:
+            self._state = BROWNOUT
+            self._entered_at = now
+            self.entered += 1
+            self._log(now, ewma)
+        elif (
+            self._state == BROWNOUT
+            and ewma <= self.exit_ms
+            and self._entered_at is not None
+            and now - self._entered_at >= self.min_dwell_s
+        ):
+            self._state = HEALTHY
+            self._entered_at = None
+            self.exited += 1
+            self._log(now, ewma)
+        return self._state
+
+    def _log(self, now: float, ewma: float) -> None:
+        if len(self.transitions) < self._max_transitions:
+            self.transitions.append(
+                {"state": self._state, "at": now, "ewma_ms": round(ewma, 3)}
+            )
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._state,
+                "ewma_ms": round(self.ewma_ms, 3),
+                "enter_ms": self.enter_ms,
+                "exit_ms": self.exit_ms,
+                "dwell_s": self.min_dwell_s,
+                "observations": self.observations,
+                "entered": self.entered,
+                "exited": self.exited,
+                "transitions": list(self.transitions),
+            }

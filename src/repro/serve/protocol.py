@@ -40,6 +40,7 @@ PROTOCOL_VERSION = 1
 OPS = (
     "ping",
     "stats",
+    "health",
     "compile",
     "run",
     "tune",
@@ -96,22 +97,35 @@ def decode_frame(line: bytes) -> Dict[str, Any]:
 
 @dataclass(frozen=True)
 class Request:
-    """One client → daemon frame."""
+    """One client → daemon frame.
+
+    ``deadline_ms`` is the caller's *relative* end-to-end budget: the
+    daemon anchors it at receipt time (client and server clocks are
+    never compared), sheds the request if the budget dies while it is
+    queued, and hands the remaining budget to the worker as its compile
+    deadline.  ``None`` (the default, and the only value old clients
+    can send) means unbounded — the wire encoding omits the key
+    entirely, so deadline-less traffic is byte-identical to the
+    pre-deadline protocol."""
 
     id: object
     op: str
     tenant: str = "default"
     priority: str = DEFAULT_PRIORITY
     params: Dict[str, Any] = field(default_factory=dict)
+    deadline_ms: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "id": self.id,
             "op": self.op,
             "tenant": self.tenant,
             "priority": self.priority,
             "params": self.params,
         }
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
+        return payload
 
     def encode(self) -> bytes:
         return encode_frame(self.to_dict())
@@ -150,7 +164,28 @@ class Request:
             raise ProtocolError(
                 f"params must be a JSON object, got {type(params).__name__}"
             )
-        return Request(id=rid, op=op, tenant=tenant, priority=priority, params=params)
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None:
+            if (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or not deadline_ms > 0
+                or deadline_ms != deadline_ms  # NaN
+                or deadline_ms == float("inf")
+            ):
+                raise ProtocolError(
+                    "deadline_ms must be a positive finite number, got "
+                    f"{deadline_ms!r}"
+                )
+            deadline_ms = float(deadline_ms)
+        return Request(
+            id=rid,
+            op=op,
+            tenant=tenant,
+            priority=priority,
+            params=params,
+            deadline_ms=deadline_ms,
+        )
 
     @staticmethod
     def decode(line: bytes) -> "Request":
@@ -164,7 +199,7 @@ class Response:
     id: object
     ok: bool
     result: Optional[Dict[str, Any]] = None
-    error: Optional[Dict[str, str]] = None
+    error: Optional[Dict[str, Any]] = None
     meta: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -205,10 +240,20 @@ class Response:
     def failure(
         rid: object, exc: BaseException, meta: Optional[Dict[str, Any]] = None
     ) -> "Response":
+        error: Dict[str, Any] = {
+            "type": type(exc).__name__, "message": str(exc)
+        }
+        # Overload rejections carry a structured back-off hint so the
+        # client can honor the server's drain-rate estimate instead of
+        # guessing; only the new error types have the attribute, so
+        # legacy error frames are byte-identical.
+        retry_after = getattr(exc, "retry_after_s", None)
+        if isinstance(retry_after, (int, float)):
+            error["retry_after_s"] = round(float(retry_after), 3)
         return Response(
             id=rid,
             ok=False,
-            error={"type": type(exc).__name__, "message": str(exc)},
+            error=error,
             meta=meta or {},
         )
 

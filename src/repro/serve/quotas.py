@@ -25,6 +25,10 @@ from repro.errors import ConfigurationError
 DEFAULT_COSTS: Dict[str, float] = {
     "ping": 0.0,
     "stats": 0.0,
+    # Health probes must stay answerable precisely when the daemon is
+    # overloaded — a probe that costs tokens would blind the load
+    # balancer at the worst moment.
+    "health": 0.0,
     "compile": 1.0,
     "run": 1.0,
     "verify": 1.0,

@@ -34,12 +34,17 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.errors import (
     ConfigurationError,
+    DeadlineExceededError,
+    DegradedModeError,
+    OverloadError,
     ProtocolError,
     QuotaExceededError,
     ServeError,
     ServerDrainingError,
 )
+from repro.serve import overload as overload_mod
 from repro.serve import protocol
+from repro.serve.overload import BROWNOUT, OverloadConfig
 from repro.serve.protocol import MAX_FRAME_BYTES, Request, Response
 from repro.serve.quotas import DEFAULT_COSTS, QuotaConfig, QuotaManager
 from repro.serve.queue import FairPriorityQueue
@@ -127,6 +132,10 @@ class ServeConfig:
     #: Peak-RSS budget of one isolated compile job, MiB; ``None``
     #: disables the check.
     memory_budget_mb: Optional[float] = None
+    #: Overload protection (bounded queues, default deadlines, brownout);
+    #: ``None`` — the default — leaves every overload mechanism off and
+    #: the daemon's wire behaviour byte-identical to the unprotected one.
+    overload: Optional[OverloadConfig] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -167,7 +176,22 @@ class KernelServer:
         self.service = service or CompileService(
             ServiceConfig(admission_threshold=2)
         )
-        self.queue = FairPriorityQueue()
+        overload = self.config.overload
+        self.overload = (
+            overload if overload is not None and overload.enabled else None
+        )
+        self.brownout = (
+            self.overload.controller() if self.overload is not None else None
+        )
+        self.queue = FairPriorityQueue(
+            caps=self.overload.caps() if self.overload is not None else None
+        )
+        if self.brownout is not None:
+            # Every dequeue's queue wait feeds the hysteresis EWMA; the
+            # observer runs on worker threads after the queue lock drops.
+            self.queue.wait_observer = (
+                lambda wait_s: self.brownout.observe(1e3 * wait_s)
+            )
         self.pool = WorkerPool(self.config.workers, queue=self.queue)
         # Warmup traffic (service.warmup) schedules through the same
         # pool, so it can never starve interactive requests.
@@ -212,6 +236,14 @@ class KernelServer:
             "journal_dropped": 0,
             "replayed": 0,
             "replay_failed": 0,
+            # Overload protection.  All zero (and the mechanisms inert)
+            # unless ServeConfig.overload is set.
+            "overload_rejected": 0,
+            "overload_shed": 0,
+            "deadline_expired_queue": 0,
+            "deadline_expired_dispatch": 0,
+            "brownout_rejected": 0,
+            "brownout_warm_served": 0,
         }
         self.op_counts: Dict[str, int] = {}
         self.priority_counts: Dict[str, int] = {}
@@ -380,6 +412,7 @@ class KernelServer:
 
     async def _serve_one(self, line: bytes) -> Response:
         received = time.perf_counter()
+        received_mono = time.monotonic()
         try:
             request = Request.decode(line)
         except ProtocolError as exc:
@@ -395,7 +428,7 @@ class KernelServer:
             "tenant": request.tenant,
             "priority": request.priority,
         }
-        if self._draining and request.op not in ("ping", "stats"):
+        if self._draining and request.op not in ("ping", "stats", "health"):
             self.counters["drain_rejected"] += 1
             return Response.failure(
                 request.id,
@@ -416,6 +449,45 @@ class KernelServer:
                 ),
                 meta,
             )
+        # End-to-end deadline: the request's own budget, or the daemon's
+        # configured default; anchored at receipt on the monotonic clock
+        # the queue sheds against.
+        deadline_ms = request.deadline_ms
+        if deadline_ms is None and self.overload is not None:
+            deadline_ms = self.overload.deadline_default_ms
+        deadline_at_s = (
+            overload_mod.deadline_at(received_mono, deadline_ms)
+            if deadline_ms is not None
+            else None
+        )
+        if deadline_ms is not None:
+            meta["deadline_ms"] = deadline_ms
+        if self.brownout is not None:
+            # An empty queue is a zero-wait observation: a flood that
+            # stopped entirely still lets the EWMA decay and the daemon
+            # recover even though nothing is being dequeued.
+            if len(self.queue) == 0:
+                self.brownout.idle()
+            if (
+                self.brownout.state == BROWNOUT
+                and request.op in ("compile", "run", "tune", "verify", "warmup")
+            ):
+                if self._brownout_serves(request):
+                    self.counters["brownout_warm_served"] += 1
+                else:
+                    self.counters["brownout_rejected"] += 1
+                    return Response.failure(
+                        request.id,
+                        DegradedModeError(
+                            "daemon is in brownout (sustained queue-wait "
+                            f"EWMA {self.brownout.ewma_ms:.0f} ms >= "
+                            f"{self.brownout.enter_ms:g} ms); only cached "
+                            "kernels and read-only ops are served until "
+                            "the backlog drains",
+                            retry_after_s=self.queue.retry_after_s(),
+                        ),
+                        meta,
+                    )
         lsn = None
         if self.journal is not None and request.op in JOURNALED_OPS:
             # Write-ahead: the request is durable *before* it runs, so a
@@ -433,11 +505,15 @@ class KernelServer:
                 result = self._op_ping()
             elif request.op == "stats":
                 result = self._op_stats()
+            elif request.op == "health":
+                result = self._op_health()
             elif request.op == "shutdown":
                 result = {"draining": bool(request.params.get("drain", True))}
                 self._request_stop(drain=bool(request.params.get("drain", True)))
             else:
-                result = await self._dispatch_blocking(request, meta, received)
+                result = await self._dispatch_blocking(
+                    request, meta, received, deadline_at_s=deadline_at_s
+                )
             if lsn is not None:
                 self.journal.record_completed(lsn, ok=True)
             elapsed_ms = 1e3 * (time.perf_counter() - received)
@@ -449,6 +525,16 @@ class KernelServer:
             if lsn is not None:
                 self.journal.record_completed(lsn, ok=False)
             self.counters["errors"] += 1
+            if isinstance(exc, OverloadError):
+                self.counters[
+                    "overload_shed" if exc.shed else "overload_rejected"
+                ] += 1
+            elif isinstance(exc, DeadlineExceededError):
+                self.counters[
+                    "deadline_expired_dispatch"
+                    if exc.phase == "dispatch"
+                    else "deadline_expired_queue"
+                ] += 1
             return Response.failure(request.id, exc, meta)
 
     # -- journal replay ------------------------------------------------------
@@ -493,7 +579,11 @@ class KernelServer:
             self._replay_remaining -= 1
 
     async def _dispatch_blocking(
-        self, request: Request, meta: Dict[str, Any], received: float
+        self,
+        request: Request,
+        meta: Dict[str, Any],
+        received: float,
+        deadline_at_s: Optional[float] = None,
     ) -> Dict[str, Any]:
         handler = {
             "compile": self._op_compile,
@@ -508,8 +598,24 @@ class KernelServer:
             queued_at = time.perf_counter()
 
             def job(params=request.params):
+                budget_s = None
+                if deadline_at_s is not None:
+                    # The queue already sheds entries that expire while
+                    # waiting; this catches the narrow race where the
+                    # budget runs out between that check and the worker
+                    # actually starting.
+                    budget_s = overload_mod.remaining_s(
+                        deadline_at_s, time.monotonic()
+                    )
+                    if budget_s is not None and budget_s <= 0.0:
+                        raise DeadlineExceededError(
+                            f"deadline ({meta.get('deadline_ms', 0)} ms) "
+                            "expired at dispatch; job not started",
+                            deadline_ms=float(meta.get("deadline_ms") or 0.0),
+                            phase="dispatch",
+                        )
                 started = time.perf_counter()
-                result = handler(params)
+                result = handler(params, budget_s=budget_s)
                 result["_exec_ms"] = round(1e3 * (time.perf_counter() - started), 3)
                 result["_queue_ms"] = round(1e3 * (started - queued_at), 3)
                 return result
@@ -525,7 +631,10 @@ class KernelServer:
                 result = await loop.run_in_executor(None, job)
             else:
                 future = self.pool.submit(
-                    job, priority=request.priority, tenant=request.tenant
+                    job,
+                    priority=request.priority,
+                    tenant=request.tenant,
+                    deadline_at=deadline_at_s,
                 )
                 result = await asyncio.wrap_future(future)
             meta["queue_ms"] = result.pop("_queue_ms")
@@ -538,6 +647,33 @@ class KernelServer:
             self._inflight -= 1
             if self._inflight == 0:
                 self._idle.set()
+
+    def _brownout_serves(self, request: Request) -> bool:
+        """Whether a kernel op is warm enough to serve during brownout.
+
+        Brownout exists to stop *new compilation work* from piling onto
+        an already-drowning queue; a content-addressed cache hit costs
+        microseconds and is still served.  ``tune``/``warmup`` always
+        generate fresh compiles, so they are always fast-failed."""
+        if request.op in ("tune", "warmup"):
+            return False
+        try:
+            spec, options, arch = protocol.spec_and_options(request.params)
+        except ProtocolError:
+            # Malformed params: admit it so the normal path can answer
+            # with the real, more useful protocol error.
+            return True
+        shape_hint = protocol.shape_hint(request.params)
+        if request.op == "verify":
+            # Mirror _op_verify's lookup exactly (no shape hint there).
+            options = options.with_(verify=False)
+            shape_hint = None
+        try:
+            return self.service.is_cached(
+                spec, arch, options, shape_hint=shape_hint
+            )
+        except Exception:
+            return False
 
     # -- operations (run on worker threads) ----------------------------------
 
@@ -552,13 +688,65 @@ class KernelServer:
     def _op_stats(self) -> Dict[str, Any]:
         return {"server": self.stats(), "service": self.service.stats()}
 
-    def _op_compile(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_health(self) -> Dict[str, Any]:
+        """Liveness/readiness surface for orchestrators and probes.
+
+        *Alive* is implied by any answer at all.  ``ready`` means the
+        daemon will accept new kernel work right now — false while
+        draining or in brownout — so load balancers can stop routing to
+        it before tenants see structured rejections."""
+        queue_stats = self.queue.stats()
+        in_brownout = (
+            self.brownout is not None and self.brownout.state == BROWNOUT
+        )
+        if self._draining:
+            state = "draining"
+        elif in_brownout:
+            state = "brownout"
+        else:
+            state = "healthy"
+        health: Dict[str, Any] = {
+            "state": state,
+            "ready": not self._draining and not in_brownout,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "queue": queue_stats,
+            "retry_after_s": queue_stats["retry_after_s"],
+            "workers": {
+                "configured": self.pool.workers,
+                "active": self.pool.stats()["active"],
+            },
+            "overload": {
+                name: self.counters[name]
+                for name in (
+                    "overload_rejected",
+                    "overload_shed",
+                    "deadline_expired_queue",
+                    "deadline_expired_dispatch",
+                    "brownout_rejected",
+                    "brownout_warm_served",
+                )
+            },
+            "brownout": (
+                self.brownout.stats() if self.brownout is not None else None
+            ),
+            "isolation": (
+                self.isolation.stats()
+                if self.isolation is not None
+                else {"mode": "thread"}
+            ),
+            "replay_pending": self._replay_remaining,
+        }
+        return health
+
+    def _op_compile(
+        self, params: Dict[str, Any], budget_s: Optional[float] = None
+    ) -> Dict[str, Any]:
         spec, options, arch = protocol.spec_and_options(params)
         program, source = self.service.get_program_with_source(
             spec,
             arch,
             options,
-            timeout_s=params.get("timeout"),
+            timeout_s=overload_mod.merge_timeout(params.get("timeout"), budget_s),
             shape_hint=protocol.shape_hint(params),
         )
         return {
@@ -570,7 +758,9 @@ class KernelServer:
             "verified": program.verification is not None,
         }
 
-    def _op_run(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_run(
+        self, params: Dict[str, Any], budget_s: Optional[float] = None
+    ) -> Dict[str, Any]:
         import numpy as np
 
         from repro.runtime.executor import run_gemm
@@ -585,7 +775,7 @@ class KernelServer:
             spec,
             arch,
             options,
-            timeout_s=params.get("timeout"),
+            timeout_s=overload_mod.merge_timeout(params.get("timeout"), budget_s),
             shape_hint=protocol.shape_hint(params),
         )
         rng = np.random.default_rng(seed)
@@ -614,7 +804,9 @@ class KernelServer:
                 result[stat] = int(report.stats[stat])
         return result
 
-    def _op_tune(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_tune(
+        self, params: Dict[str, Any], budget_s: Optional[float] = None
+    ) -> Dict[str, Any]:
         from repro import api
 
         spec, options, arch = protocol.spec_and_options(params)
@@ -637,13 +829,15 @@ class KernelServer:
             "key": row["key"],
         }
 
-    def _op_verify(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_verify(
+        self, params: Dict[str, Any], budget_s: Optional[float] = None
+    ) -> Dict[str, Any]:
         from repro.verify import verify_program
 
         spec, options, arch = protocol.spec_and_options(params)
         program, source = self.service.get_program_with_source(
             spec, arch, options.with_(verify=False),
-            timeout_s=params.get("timeout"),
+            timeout_s=overload_mod.merge_timeout(params.get("timeout"), budget_s),
         )
         report = verify_program(program)
         described = report.describe()
@@ -654,7 +848,9 @@ class KernelServer:
             "checks": len(described.get("checks", [])),
         }
 
-    def _op_warmup(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_warmup(
+        self, params: Dict[str, Any], budget_s: Optional[float] = None
+    ) -> Dict[str, Any]:
         rows = self.service.warmup()
         compiled = sum(1 for r in rows if r["source"] == "compiled")
         return {
@@ -690,6 +886,18 @@ class KernelServer:
                     "replay_pending": self._replay_remaining,
                 }
                 if self.journal is not None
+                else None
+            ),
+            "overload": (
+                {
+                    "config": self.overload.describe(),
+                    "brownout": (
+                        self.brownout.stats()
+                        if self.brownout is not None
+                        else None
+                    ),
+                }
+                if self.overload is not None
                 else None
             ),
         }

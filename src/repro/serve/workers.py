@@ -45,10 +45,18 @@ class WorkerPool:
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"worker pool needs >= 1 worker, got {workers}")
-        self.queue = queue or FairPriorityQueue()
+        # NOT `queue or FairPriorityQueue()`: an empty queue has
+        # len() == 0 and is falsy, which would silently discard the
+        # caller's (possibly bounded) queue and drain a private one.
+        self.queue = queue if queue is not None else FairPriorityQueue()
+        # Shed/expired jobs never reach a worker; their waiting callers
+        # still deserve an answer, so the queue's drop notifications fail
+        # the job futures with the structured overload/deadline error.
+        self.queue.drop_handler = self._on_drop
         self.workers = workers
         self.executed: Dict[str, int] = {p: 0 for p in PRIORITIES}
         self.failed = 0
+        self.dropped = 0
         self.cancelled = 0
         self.restarted = 0
         self._active = 0
@@ -69,11 +77,31 @@ class WorkerPool:
         fn: Callable[[], object],
         priority: str = DEFAULT_PRIORITY,
         tenant: str = "default",
+        deadline_at: Optional[float] = None,
     ) -> Future:
-        """Queue ``fn`` for execution; returns its future."""
+        """Queue ``fn`` for execution; returns its future.
+
+        ``deadline_at`` (absolute, on the queue's clock) lets the queue
+        shed the job *before* dispatch if the caller's end-to-end budget
+        runs out while it waits; the future then fails with
+        :class:`~repro.errors.DeadlineExceededError`.  A bounded queue
+        may also raise :class:`~repro.errors.OverloadError` here, or
+        later fail the future with it if the job is shed for a
+        higher-priority arrival."""
         job = _Job(fn=fn, priority=priority, tenant=tenant)
-        self.queue.put(job, priority=priority, tenant=tenant)
+        self.queue.put(
+            job, priority=priority, tenant=tenant, deadline_at=deadline_at
+        )
         return job.future
+
+    def _on_drop(self, item: object, exc: BaseException) -> None:
+        # Called under the queue lock (see FairPriorityQueue.drop_handler);
+        # taking self._cond here would invert the drain() lock order, so
+        # the counter is a bare increment (a stats race is benign).
+        self.dropped += 1
+        future = getattr(item, "future", None)
+        if future is not None and future.set_running_or_notify_cancel():
+            future.set_exception(exc)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -160,6 +188,7 @@ class WorkerPool:
             "workers": self.workers,
             "active": active,
             "failed": self.failed,
+            "dropped": self.dropped,
             "cancelled": self.cancelled,
             "restarted": self.restarted,
             "executed": dict(self.executed),

@@ -217,6 +217,36 @@ class CompileService:
         options = reconcile_options(spec, options or CompilerOptions(), arch)
         return cache_key(spec, arch, options)
 
+    def is_cached(
+        self,
+        spec: GemmSpec,
+        arch: Optional[ArchSpec] = None,
+        options: Optional[CompilerOptions] = None,
+        shape_hint: Optional[Tuple[int, ...]] = None,
+    ) -> bool:
+        """Whether a request would be served without compiling.
+
+        A cheap, side-effect-free probe of the hot tier, the in-flight
+        rendezvous (a waiter dedups onto someone else's compile — warm
+        enough) and the artifact store's path, in that order.  The
+        serving daemon's brownout mode uses this to tell cache hits (to
+        keep serving) from compile misses (to fast-fail) without
+        spending a worker to find out.  The LRU recency order and the
+        request/hit counters are untouched (only the tuning-steering
+        lookup runs, since it decides which key the request would
+        actually be served under)."""
+        if not self.config.enabled:
+            return False
+        arch = arch or SW26010PRO
+        options = options or CompilerOptions()
+        options = self._apply_tuning(spec, arch, options, shape_hint)
+        options = reconcile_options(spec, options, arch)
+        key = cache_key(spec, arch, options)
+        with self._lock:
+            if key in self._memory or key in self._inflight:
+                return True
+        return self._store is not None and self._store.path_for(key).exists()
+
     def compile(
         self,
         spec: GemmSpec,

@@ -78,7 +78,10 @@ EXPECTED_API = {
     "tune": ["spec", "shape", "arch", "seed", "budget", "options",
              "service", "full_result", "option_overrides"],
     "verify": ["program"],
-    "connect": ["address", "tenant", "timeout"],
+    # **client_kw forwards the serve client's overload knobs
+    # (deadline_ms, overload_retries, overload_retry_budget_s) without
+    # re-declaring them on the facade.
+    "connect": ["address", "tenant", "timeout", "client_kw"],
 }
 
 

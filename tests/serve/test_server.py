@@ -340,10 +340,14 @@ def test_socket_path_occupied_by_regular_file(tmp_path):
     assert path.read_text() == "occupied"  # never clobbered
 
 
-def test_read_timeout_raises_serve_error_not_deadlock():
-    """A server that accepts but never answers must produce a ServeError
-    on timeout — the error path runs under the client lock, and closing
-    there used to re-take the (non-reentrant) lock and hang forever."""
+def test_read_timeout_raises_client_timeout_not_deadlock():
+    """A server that accepts but never answers must produce a
+    ClientTimeout — *not* a connection-loss retry (the request may still
+    be executing server-side; a blind resend would double the work) and
+    not a deadlock (the error path runs under the client lock, and
+    closing there used to re-take the non-reentrant lock and hang)."""
+    from repro.errors import ClientTimeout
+
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.bind(("127.0.0.1", 0))
     listener.listen(1)
@@ -365,13 +369,18 @@ def test_read_timeout_raises_serve_error_not_deadlock():
             outcome["error"] = exc
         finally:
             client.close()  # idempotent even after the error-path close
+            outcome["retries"] = client.retries
 
     worker = threading.Thread(target=do_request, daemon=True)
     worker.start()
     worker.join(timeout=10.0)
     try:
         assert not worker.is_alive(), "client deadlocked on timeout"
-        assert "connection to daemon lost" in str(outcome["error"])
+        assert isinstance(outcome["error"], ClientTimeout)
+        assert outcome["error"].timeout_s == 0.5
+        assert "not retried" in str(outcome["error"])
+        # The request was never resent — even though ping is idempotent.
+        assert outcome["retries"] == 0
     finally:
         for conn in accepted:
             conn.close()
