@@ -34,7 +34,7 @@ from repro.api import Client, GemmResult, connect
 from repro.codegen.backend import backend_names, get_backend, resolve_kernel
 from repro.compat import GemmCompiler, run_gemm
 from repro.core import CompilerOptions, GemmSpec
-from repro.core.options import TileConfig
+from repro.core.options import SchedulePolicy, TileConfig
 from repro.faults import FaultInjector, FaultPolicy, RetryPolicy, tile_checksum
 from repro.frontend import compile_c, extract_spec, parse_c
 from repro.runtime import CompiledProgram, ExecutionReport, Executor
@@ -73,6 +73,7 @@ __all__ = [
     "GemmSpec",
     "CompilerOptions",
     "TileConfig",
+    "SchedulePolicy",
     # compilation service
     "CompileService",
     "ServiceConfig",

@@ -33,7 +33,7 @@ from typing import Iterator, Optional, Tuple, Union
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.core.options import CompilerOptions, TileConfig
+from repro.core.options import CompilerOptions, SchedulePolicy, TileConfig
 from repro.core.spec import GemmSpec
 from repro.runtime.executor import ExecutionReport
 from repro.runtime.executor import run_gemm as _run_gemm
@@ -83,6 +83,14 @@ def _coerce_options(
             f"unknown compiler option(s) {sorted(unknown)}; valid options "
             f"are {sorted(_OPTION_FIELDS)}"
         )
+    if "schedule" in overrides:
+        # Accept the structured SchedulePolicy, a bare mode string
+        # ("recipe"/"optimize"/"off"), or a {"mode", "allow", "deny"}
+        # mapping — callers shouldn't need to import the dataclass.
+        overrides = {
+            **overrides,
+            "schedule": SchedulePolicy.parse(overrides["schedule"]),
+        }
     base = options or CompilerOptions()
     if (
         overrides.get("use_asm") is False

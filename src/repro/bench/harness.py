@@ -36,6 +36,9 @@ class FigureResult:
     figure: str
     rows: List[Dict[str, object]] = field(default_factory=list)
     aggregate: Dict[str, float] = field(default_factory=dict)
+    # Non-numeric results (e.g. a searched pass order) that don't fit
+    # the float-only aggregate table.
+    meta: Dict[str, object] = field(default_factory=dict)
 
 
 def _mean(values: Sequence[float]) -> float:
@@ -539,4 +542,143 @@ def multiarch_bench_payload(result: FigureResult) -> Dict[str, object]:
         "arch": sorted({r["arch"] for r in result.rows}),
         "rows": result.rows,
         "aggregate": result.aggregate,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Schedule rewrite stack: --schedule=optimize vs the fixed --hiding recipe
+# ---------------------------------------------------------------------------
+
+#: ``(label, batch, (M, N, K), tile-or-None, ragged?)`` sweep points.
+#: Aligned shapes use the analytical 64x64x32 default (512-chunk
+#: multiples); ragged shapes pin per-shape tiles whose chunks divide the
+#: problem exactly — the same class of configurations the autotuner
+#: selects for them (see TUNE_ABLATION_CASES).  Small chunks start and
+#: drain the pipeline often, which is precisely where the rewrites'
+#: per-chunk startup saving shows up.
+SCHEDULE_SWEEP_CASES: Tuple[
+    Tuple[str, int, Shape, Optional[Tuple[int, int, int]], bool], ...
+] = (
+    ("aligned-4096", 1, (4096, 4096, 4096), None, False),
+    ("aligned-1024", 1, (1024, 1024, 1024), None, False),
+    ("ragged-576x1024x512", 1, (576, 1024, 512), (24, 64, 32), True),
+    ("ragged-1280x768x512", 1, (1280, 768, 512), (32, 32, 32), True),
+    ("ragged-192x576x384", 1, (192, 576, 384), (24, 24, 16), True),
+    ("ragged-batched-32x256x256", 256, (32, 256, 256), (4, 32, 16), True),
+)
+
+
+def schedule_sweep(
+    arch: ArchSpec = SW26010PRO,
+    cases=SCHEDULE_SWEEP_CASES,
+    seed: int = 0,
+    service=None,
+) -> FigureResult:
+    """Recipe vs rewrite-stack Gflops for every sweep point.
+
+    Every optimized program is additionally replayed on the verifier's
+    ``ScheduleMachine`` here — not just at admission time — so the
+    committed snapshot carries an explicit zero-violation proof for the
+    exact programs the numbers came from.  A seeded greedy
+    pass-ordering search runs on the first ragged case to document the
+    order the search selects.
+    """
+    from repro.core.options import SchedulePolicy, TileConfig
+    from repro.schedule import greedy_pass_order, simulated_evaluator
+    from repro.verify import replay_schedule
+
+    sim = PerformanceSimulator(arch, service=service)
+    result = FigureResult("schedule")
+    for label, batch, (M, N, K), tile, ragged in cases:
+        base = CompilerOptions.full()
+        if batch > 1:
+            base = base.with_(batch=True)
+        if tile is not None:
+            mt, nt, kt = tile
+            base = base.with_(
+                tile_config=TileConfig(
+                    mt, nt, kt, buffer_depth=2, k_strip=arch.mesh_rows
+                )
+            )
+        optimized = base.with_(schedule=SchedulePolicy(mode="optimize"))
+        recipe_perf = sim.simulate(M, N, K, base, batch=batch)
+        opt_perf = sim.simulate(M, N, K, optimized, batch=batch)
+        program = sim.program_for(optimized, None)
+        replay = replay_schedule(
+            program.cpe_program, program.plan, program.spec
+        )
+        violations = len(replay.hazards) + len(replay.discipline)
+        if replay.deadlock or not replay.completed:
+            violations += 1
+        result.rows.append(
+            {
+                "case": label,
+                "shape": (f"b{batch}:" if batch > 1 else "") + f"{M}x{N}x{K}",
+                "batch": batch,
+                "M": M,
+                "N": N,
+                "K": K,
+                "ragged": ragged,
+                "tile": "64x64x32 (default)"
+                if tile is None
+                else f"{tile[0]}x{tile[1]}x{tile[2]}",
+                "recipe_gflops": recipe_perf.gflops,
+                "optimize_gflops": opt_perf.gflops,
+                "ratio": opt_perf.gflops / recipe_perf.gflops,
+                "bubble_recipe": recipe_perf.bubble_fraction,
+                "bubble_optimize": opt_perf.bubble_fraction,
+                "bubble_reduction": recipe_perf.bubble_fraction
+                - opt_perf.bubble_fraction,
+                "machine_violations": violations,
+            }
+        )
+    ragged_rows = [r for r in result.rows if r["ragged"]]
+    aligned_rows = [r for r in result.rows if not r["ragged"]]
+    first_ragged = next(
+        c for c in cases if c[4]
+    )
+    _, batch, shape, tile, _ = first_ragged
+    search_base = CompilerOptions.full()
+    if tile is not None:
+        mt, nt, kt = tile
+        search_base = search_base.with_(
+            tile_config=TileConfig(
+                mt, nt, kt, buffer_depth=2, k_strip=arch.mesh_rows
+            )
+        )
+    searched = greedy_pass_order(
+        simulated_evaluator(shape, search_base, arch=arch, service=service),
+        seed=seed,
+    )
+    result.aggregate = {
+        "cases": float(len(result.rows)),
+        "ragged_improved": float(
+            sum(1 for r in ragged_rows if r["ratio"] > 1.0)
+        ),
+        "min_aligned_ratio": min(r["ratio"] for r in aligned_rows),
+        "mean_ragged_ratio": _mean([r["ratio"] for r in ragged_rows]),
+        "min_ragged_bubble_reduction": min(
+            r["bubble_reduction"] for r in ragged_rows
+        ),
+        "total_machine_violations": float(
+            sum(r["machine_violations"] for r in result.rows)
+        ),
+        "search_seed": float(seed),
+    }
+    result.meta["searched_order"] = (
+        list(searched.pass_names()) if searched is not None else []
+    )
+    return result
+
+
+def schedule_bench_payload(
+    result: FigureResult, arch: ArchSpec = SW26010PRO
+) -> Dict[str, object]:
+    """The committed ``BENCH_schedule.json`` snapshot."""
+    return {
+        "figure": "schedule",
+        "arch": arch.name.lower(),
+        "rows": result.rows,
+        "aggregate": result.aggregate,
+        "searched_order": result.meta.get("searched_order", []),
     }

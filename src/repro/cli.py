@@ -255,7 +255,44 @@ def _spec_and_options(args):
     if getattr(args, "no_verify", False):
         options = options.with_(verify=False)
     options = _apply_micro_kernel(args, options)
+    options = _apply_schedule(args, options)
     return spec, options
+
+
+def _apply_schedule(args, options):
+    """Fold ``--schedule`` / ``--schedule-passes`` into an option set.
+
+    ``recipe`` pins the fixed §6 pipeline, ``optimize`` layers the
+    replay-proven rewrite stack on top of it, ``off`` is the structured
+    spelling of the deprecated ``--no-hiding``.  Reconciliation
+    canonicalises the policy (and drops it when it cannot run), so the
+    cache key only ever sees the normal form.
+    """
+    from repro.core.options import SchedulePolicy
+    from repro.errors import ConfigurationError
+
+    mode = getattr(args, "schedule", None)
+    passes = getattr(args, "schedule_passes", None)
+    if passes is not None and mode != "optimize":
+        raise ConfigurationError(
+            "--schedule-passes only applies to --schedule=optimize"
+        )
+    if mode is None:
+        return options
+    if mode == "optimize" and (
+        getattr(args, "no_hiding", False) or getattr(args, "no_use_asm", False)
+    ):
+        raise ConfigurationError(
+            "--schedule=optimize rewrites the latency-hiding pipeline and "
+            "cannot be combined with --no-hiding / --no-use-asm"
+        )
+    allow = ()
+    if passes:
+        allow = tuple(p.strip() for p in passes.split(",") if p.strip())
+    policy = SchedulePolicy(mode=mode, allow=allow)
+    if mode == "off":
+        options = options.with_(enable_latency_hiding=False)
+    return options.with_(schedule=policy)
 
 
 def _apply_micro_kernel(args, options):
@@ -304,9 +341,21 @@ def _build_introspected(args, spec, options) -> "CompiledProgram":
     if args.dump_ir:
         outdir = Path(args.dump_ir)
         outdir.mkdir(parents=True, exist_ok=True)
+        count = 0
         for index, (name, snapshot) in enumerate(ctx.snapshots.items(), 1):
             (outdir / f"{index:02d}-{name}.txt").write_text(snapshot)
-        print(f"wrote {len(ctx.snapshots)} IR snapshot(s) to {outdir}")
+            count = index
+        if program.plan.double_buffered:
+            # Per-pass snapshots show the tree; the artifact set is only
+            # complete with the final post-schedule timeline alongside.
+            from repro.schedule import extract_timeline
+
+            timeline = extract_timeline(program.tree).dump()
+            (outdir / f"{count + 1:02d}-schedule-timeline.txt").write_text(
+                timeline
+            )
+            count += 1
+        print(f"wrote {count} IR snapshot(s) to {outdir}")
     return program
 
 
@@ -378,6 +427,14 @@ def cmd_verify(args) -> int:
 def cmd_tree(args) -> int:
     program = _build_program(args)
     print(program.tree_dump())
+    if program.plan.double_buffered:
+        # The tree is the loop structure; the timeline is the per-CPE
+        # DMA/RMA/compute pipeline read off it — print both so the dump
+        # is complete for double-buffered (schedulable) plans.
+        from repro.schedule import extract_timeline
+
+        print("--- schedule timeline ---")
+        print(extract_timeline(program.tree).dump(), end="")
     return 0
 
 
@@ -499,6 +556,10 @@ def cmd_tune(args) -> int:
             from repro.core.options import CompilerOptions
 
             options = _apply_micro_kernel(args, options or CompilerOptions.full())
+        if getattr(args, "schedule", None):
+            from repro.core.options import CompilerOptions
+
+            options = _apply_schedule(args, options or CompilerOptions.full())
     result = api.tune(
         spec,
         shape=(args.M, args.N, args.K, args.batch_count),
@@ -814,7 +875,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-rma", action="store_true",
                        help="disable RMA broadcasts")
         p.add_argument("--no-hiding", action="store_true",
-                       help="disable memory latency hiding")
+                       help="disable memory latency hiding (deprecated: "
+                       "use --schedule=off)")
+        p.add_argument(
+            "--schedule", choices=("recipe", "optimize", "off"),
+            default=None, metavar="MODE",
+            help="schedule policy: 'recipe' keeps the fixed §6 pipeline "
+            "(default), 'optimize' runs the replay-proven schedule rewrite "
+            "stack on top of it, 'off' disables latency hiding entirely",
+        )
+        p.add_argument(
+            "--schedule-passes", metavar="LIST", default=None,
+            help="comma-separated allow-list of schedule rewrites for "
+            "--schedule=optimize (e.g. 'reorder-issues,split-waits'; "
+            "default: all, in canonical order)",
+        )
         p.add_argument("--no-verify", action="store_true",
                        help="skip the admission verifier (escape hatch; "
                        "generated code is bit-exact either way)")

@@ -100,6 +100,96 @@ class TileConfig:
 #: used in §8.4; the rest widen test coverage.
 ELEMENTWISE_FUNCS = ("quant", "relu", "sigmoid", "tanh", "identity")
 
+#: Schedule policy modes: "recipe" pins the fixed §6 pipeline, "optimize"
+#: runs the schedule rewrite stack over it, "off" disables latency hiding
+#: entirely (the structured spelling of the legacy ``--no-hiding``).
+SCHEDULE_MODES = ("recipe", "optimize", "off")
+
+#: The schedule rewrites, in canonical application order.  Defined here —
+#: not in :mod:`repro.schedule` — so option validation needs nothing above
+#: this module in the import graph; the rewrite registry in
+#: ``repro.schedule.passes`` asserts it stays in sync.
+SCHEDULE_PASS_NAMES = (
+    "split-waits",
+    "reorder-issues",
+    "merge-transfers",
+    "retire-waits",
+)
+
+
+@dataclass(frozen=True)
+class SchedulePolicy:
+    """Structured replacement for the boolean ``hiding`` knob sprawl.
+
+    ``mode`` selects between the fixed recipe, the rewrite stack and no
+    pipelining at all; ``allow``/``deny`` filter (and, for ``allow``,
+    order) the rewrites that run in ``optimize`` mode.  Reconciliation
+    (:func:`repro.core.passes.reconcile_options`) canonicalises policies
+    so equivalent requests share cache keys: ``recipe`` and ``off``
+    collapse into the legacy ``enable_latency_hiding`` bit and
+    ``schedule=None``; a surviving ``optimize`` pins its resolved pass
+    tuple explicitly.
+    """
+
+    mode: str = "recipe"
+    #: Ordered allow-list of rewrites; empty means "all, canonical order".
+    allow: Tuple[str, ...] = ()
+    #: Rewrites removed from the allow set.
+    deny: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode not in SCHEDULE_MODES:
+            raise ConfigurationError(
+                f"unknown schedule mode {self.mode!r}; expected one of "
+                f"{SCHEDULE_MODES}"
+            )
+        # Serde round-trips hand back lists; coerce so policies stay
+        # hashable (the simulator's chunk cache keys on options).
+        for attr in ("allow", "deny"):
+            value = getattr(self, attr)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, attr, tuple(value))
+            for name in getattr(self, attr):
+                if name not in SCHEDULE_PASS_NAMES:
+                    raise ConfigurationError(
+                        f"unknown schedule pass {name!r} in {attr}; "
+                        f"known: {', '.join(SCHEDULE_PASS_NAMES)}"
+                    )
+
+    def pass_names(self) -> Tuple[str, ...]:
+        """The rewrites that actually run, in order."""
+        base = self.allow if self.allow else SCHEDULE_PASS_NAMES
+        return tuple(name for name in base if name not in self.deny)
+
+    @staticmethod
+    def parse(value) -> Optional["SchedulePolicy"]:
+        """Coerce a wire/CLI value into a policy.
+
+        Accepts ``None`` (keep the default), a mode string, a mapping
+        with ``mode``/``allow``/``deny`` keys, or a ready policy.
+        """
+        if value is None or isinstance(value, SchedulePolicy):
+            return value
+        if isinstance(value, str):
+            return SchedulePolicy(mode=value)
+        if isinstance(value, dict):
+            unknown = set(value) - {"mode", "allow", "deny"}
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown schedule policy keys {sorted(unknown)}; "
+                    "expected mode/allow/deny"
+                )
+            return SchedulePolicy(
+                mode=value.get("mode", "recipe"),
+                allow=tuple(value.get("allow", ()) or ()),
+                deny=tuple(value.get("deny", ()) or ()),
+            )
+        raise ConfigurationError(
+            f"cannot interpret {value!r} as a schedule policy; expected a "
+            f"mode string {SCHEDULE_MODES}, a mode/allow/deny mapping, or a "
+            "SchedulePolicy"
+        )
+
 
 @dataclass(frozen=True)
 class CompilerOptions:
@@ -142,6 +232,13 @@ class CompilerOptions:
     #: Normalised away in cache keys: verified and unverified compiles
     #: of the same request produce the same code.
     verify: bool = True
+    #: Structured schedule policy (``--schedule``).  ``None`` means the
+    #: legacy ``enable_latency_hiding`` bit decides between recipe and
+    #: off; reconciliation collapses redundant policies back to ``None``
+    #: so old and new spellings share cache keys.  Validation against
+    #: ``enable_latency_hiding`` happens in reconciliation, not here —
+    #: intermediate ``with_()`` states may be inconsistent.
+    schedule: Optional[SchedulePolicy] = None
 
     def __post_init__(self) -> None:
         if self.fusion not in FUSION_MODES:
@@ -209,6 +306,12 @@ class CompilerOptions:
             base = "+rma"
         else:
             base = "+hiding"
+        if self.schedule is not None and self.schedule.mode == "optimize":
+            passes = self.schedule.pass_names()
+            if passes == SCHEDULE_PASS_NAMES:
+                base = f"{base}+sched"
+            else:
+                base = f"{base}+sched[{','.join(passes)}]"
         if self.tile_config is not None:
             base = f"{base}@{self.tile_config.name()}"
         if self.kernel_backend is not None:

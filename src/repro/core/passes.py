@@ -42,7 +42,12 @@ from repro.core.diagnostics import PassDiagnostic, PassStat
 from repro.core.dma import DmaSpec, derive_dma_specs
 from repro.core.latency_hiding import insert_communication
 from repro.core.lowering import MICRO_KERNEL_MARK, GemmLowering
-from repro.core.options import ELEMENTWISE_FUNCS, CompilerOptions
+from repro.core.options import (
+    ELEMENTWISE_FUNCS,
+    SCHEDULE_PASS_NAMES,
+    CompilerOptions,
+    SchedulePolicy,
+)
 from repro.core.rma import RmaSpec, derive_rma_specs
 from repro.core.spec import GemmSpec
 from repro.core.tile_model import TilePlan, plan_for_kernel
@@ -166,6 +171,27 @@ def reconcile_options(
                 cfg = None
         if cfg is not options.tile_config:
             options = options.with_(tile_config=cfg)
+
+    # The structured schedule policy is canonicalised last, once the
+    # legacy hiding bit has settled: "off" folds into that bit, "recipe"
+    # restates the default, and an "optimize" that cannot run (no
+    # pipeline to rewrite, or an empty pass set) collapses too — so
+    # every spelling of the same pipeline shares one cache key, and a
+    # surviving policy pins its resolved pass tuple explicitly.
+    policy = options.schedule
+    if policy is not None:
+        if policy.mode == "off":
+            options = options.with_(enable_latency_hiding=False, schedule=None)
+        elif policy.mode == "recipe":
+            options = options.with_(schedule=None)
+        elif not options.enable_latency_hiding or not policy.pass_names():
+            options = options.with_(schedule=None)
+        else:
+            canonical = SchedulePolicy(
+                mode="optimize", allow=policy.pass_names()
+            )
+            if canonical != policy:
+                options = options.with_(schedule=canonical)
     return options
 
 
@@ -195,6 +221,10 @@ class CompileContext:
     cpe_program: Optional[CpeProgram] = None
     #: the admission verifier's report (repro.verify.VerificationReport)
     verification: Optional[object] = None
+    #: deterministic dump of the post-rewrite timeline (set by the
+    #: schedule rewrite passes; None on recipe pipelines keeps their
+    #: snapshots byte-identical to before the schedule IR existed)
+    schedule_timeline: Optional[str] = None
 
     diagnostics: List[PassDiagnostic] = field(default_factory=list)
     stats: List[PassStat] = field(default_factory=list)
@@ -304,7 +334,18 @@ class CompileContext:
             if self.decomposition is not None
             else "<no schedule tree yet>"
         )
-        return "\n".join(lines) + "\n--- schedule tree ---\n" + tree + "\n"
+        timeline = (
+            "\n--- schedule timeline ---\n" + self.schedule_timeline.rstrip("\n")
+            if self.schedule_timeline
+            else ""
+        )
+        return (
+            "\n".join(lines)
+            + timeline
+            + "\n--- schedule tree ---\n"
+            + tree
+            + "\n"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -617,6 +658,63 @@ class CommunicationSchedulePass(_CommunicationPass):
         )
 
 
+class ScheduleRewritePass(Pass):
+    """One schedule rewrite from :mod:`repro.schedule`, run as a
+    first-class pipeline pass (``--schedule=optimize`` schedules one of
+    these per allowed rewrite, in policy order).
+
+    The rewrite mutates a clone of the schedule tree, which is lowered,
+    replayed on the verifier's ``ScheduleMachine`` and re-checked
+    against the SPM budget before it replaces ``dec.root`` — an
+    unproven candidate is dropped and the pass records why.  The
+    rewrite name is part of the pass name (``schedule:<rewrite>``) and
+    fingerprint, so pass sets and their order flow into the pipeline
+    identity and hence the service cache keys.
+    """
+
+    section = "§6+"
+
+    def __init__(self, rewrite: str) -> None:
+        # Imported lazily to keep this module importable while
+        # repro.schedule is mid-import (it lazily imports our helpers).
+        from repro.schedule import REWRITES
+
+        if rewrite not in REWRITES:
+            raise ConfigurationError(
+                f"unknown schedule rewrite {rewrite!r}; known: "
+                f"{', '.join(REWRITES)}"
+            )
+        self.rewrite = rewrite
+        self.name = f"schedule:{rewrite}"
+        self.summary = REWRITES[rewrite].summary
+
+    def run(self, ctx: CompileContext) -> None:
+        from repro.schedule import apply_rewrite, extract_timeline
+        from repro.schedule.passes import bubble_occupancy
+
+        dec = ctx.require(ctx.decomposition, "a decomposition")
+        dma_specs = ctx.require(ctx.dma_specs, "DMA specs")
+        outcome = apply_rewrite(
+            dec, self.rewrite, dma_specs, ctx.rma_specs, ctx.arch
+        )
+        if outcome.applied:
+            ctx.decide(
+                f"{self.rewrite}: applied — candidate replayed on the "
+                "schedule machine and SPM slack re-checked"
+            )
+            bubble = bubble_occupancy(dec, outcome.cpe_program, ctx.arch)
+            ctx.info(
+                f"bubble occupancy after {self.rewrite}: {bubble:.2%} "
+                "(one chunk, K=2·k_step)"
+            )
+        else:
+            ctx.info(f"{self.rewrite}: not applied — {outcome.reason}")
+        ctx.schedule_timeline = extract_timeline(dec.root).dump()
+
+    def fingerprint(self) -> str:
+        return f"{super().fingerprint()}[{self.rewrite}]"
+
+
 class AstGenerationPass(Pass):
     name = "ast-generation"
     section = "§7"
@@ -715,11 +813,29 @@ def apply_disabled_passes(
 ) -> CompilerOptions:
     """Rewrite ``options`` so the default pipeline omits each pass."""
     for name in disabled:
+        if name.startswith("schedule:"):
+            rewrite_name = name.split(":", 1)[1]
+            if rewrite_name not in SCHEDULE_PASS_NAMES:
+                raise ConfigurationError(
+                    f"unknown schedule rewrite {rewrite_name!r}; known: "
+                    f"{', '.join(SCHEDULE_PASS_NAMES)}"
+                )
+            policy = options.schedule
+            if policy is not None and policy.mode == "optimize":
+                deny = tuple(dict.fromkeys(policy.deny + (rewrite_name,)))
+                options = options.with_(
+                    schedule=SchedulePolicy(
+                        mode="optimize", allow=policy.allow, deny=deny
+                    )
+                )
+            # Without an optimize policy the pass is not scheduled at
+            # all — disabling it is already satisfied.
+            continue
         rewrite = DISABLE_REWRITES.get(name)
         if rewrite is None:
             raise ConfigurationError(
                 f"pass {name!r} cannot be disabled; disableable passes: "
-                f"{sorted(DISABLE_REWRITES)}"
+                f"{sorted(DISABLE_REWRITES)} and schedule:<rewrite>"
             )
         options = options.with_(**rewrite)
     return options
@@ -754,6 +870,9 @@ def build_pipeline(
     passes.append(MicroKernelMarkPass())
     if options.enable_latency_hiding:
         passes.append(LatencyHidingPass())
+        if options.schedule is not None and options.schedule.mode == "optimize":
+            for rewrite in options.schedule.pass_names():
+                passes.append(ScheduleRewritePass(rewrite))
     else:
         passes.append(CommunicationSchedulePass())
     passes.append(AstGenerationPass())

@@ -113,7 +113,7 @@ def _register_all() -> None:
     from repro.core.decomposition import Decomposition
     from repro.core.diagnostics import PassDiagnostic, PassStat
     from repro.core.dma import DmaSpec
-    from repro.core.options import CompilerOptions, TileConfig
+    from repro.core.options import CompilerOptions, SchedulePolicy, TileConfig
     from repro.core.rma import RmaSpec
     from repro.core.spec import GemmSpec
     from repro.core.tile_model import BufferSpec, TilePlan
@@ -276,6 +276,7 @@ def _register_all() -> None:
     for cls in (
         GemmSpec,
         TileConfig,
+        SchedulePolicy,
         CompilerOptions,
         FaultPolicy,
         RetryPolicy,

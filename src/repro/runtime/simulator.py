@@ -49,6 +49,11 @@ class PerfResult:
     peak_fraction: float
     n_chunks: int
     chunk_seconds: float
+    #: pipeline bubble occupancy of one chunk: the fraction of total
+    #: CPE-time NOT spent in the micro kernel (1 − Σ compute_seconds /
+    #: (n_cpes · chunk)).  Lower is better; the schedule rewrite stack
+    #: (``--schedule=optimize``) exists to shrink it.
+    bubble_fraction: float = 0.0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         shape = f"{self.M}x{self.N}x{self.K}"
@@ -78,7 +83,7 @@ class PerformanceSimulator:
         #: guarded mode: every chunk simulation runs under a
         #: CertificateGuard built from the program's admission report
         self.guarded = guarded
-        self._chunk_cache: Dict[Tuple, float] = {}
+        self._chunk_cache: Dict[Tuple, Tuple[float, float]] = {}
 
     # -- compilation cache ---------------------------------------------------
 
@@ -104,6 +109,17 @@ class PerformanceSimulator:
         self, K: int, options: CompilerOptions, spec: Optional[GemmSpec] = None
     ) -> float:
         """Timed simulation of one 512×512×K mesh pass, spawn excluded."""
+        return self.chunk_stats(K, options, spec)[0]
+
+    def chunk_stats(
+        self, K: int, options: CompilerOptions, spec: Optional[GemmSpec] = None
+    ) -> Tuple[float, float]:
+        """``(chunk seconds, bubble fraction)`` for one mesh pass.
+
+        The bubble fraction is the share of total CPE-time the mesh
+        spends *outside* the micro kernel — waiting on DMA/RMA, in
+        barriers, or in scale/fixup code.  It is what the schedule
+        rewrites attack, so it rides along with every timing."""
         spec = spec or self._default_spec(options)
         key = (options, spec, K)
         if key in self._chunk_cache:
@@ -138,8 +154,13 @@ class PerformanceSimulator:
             params[spec.batch_param] = 1
         report = executor.run(params)
         chunk = report.elapsed_seconds - self.arch.spawn_us * 1e-6
-        self._chunk_cache[key] = chunk
-        return chunk
+        n_cpes = plan.mesh * plan.mesh
+        compute = report.stats.get("compute_seconds", 0.0)
+        bubble = (
+            max(0.0, 1.0 - compute / (n_cpes * chunk)) if chunk > 0 else 0.0
+        )
+        self._chunk_cache[key] = (chunk, bubble)
+        return chunk, bubble
 
     # -- the headline API ----------------------------------------------------------
 
@@ -175,7 +196,7 @@ class PerformanceSimulator:
                     f"{name}={value} is not a multiple of {step}; the paper "
                     "zero-pads such shapes (§8.1) — pad before simulating"
                 )
-        chunk = self.chunk_seconds(K, options, spec)
+        chunk, bubble = self.chunk_stats(K, options, spec)
         n_chunks = (M // plan.chunk_m) * (N // plan.chunk_n)
         seconds = self.arch.spawn_us * 1e-6 + batch * n_chunks * chunk
         flops = 2.0 * M * N * K * batch
@@ -192,6 +213,7 @@ class PerformanceSimulator:
             peak_fraction=gflops / self.arch.peak_gflops,
             n_chunks=n_chunks,
             chunk_seconds=chunk,
+            bubble_fraction=bubble,
         )
 
     def breakdown(

@@ -1,0 +1,228 @@
+"""Timeline extraction and materialization.
+
+:func:`extract_timeline` reads the communication structure the §6
+builder (:mod:`repro.core.latency_hiding`) left in the schedule tree and
+lifts it into the rewritable :class:`~repro.schedule.ir.Timeline`;
+:func:`materialize` writes a (possibly rewritten) timeline back into the
+same tree, rebuilding the extension nodes and filters in place.
+
+The extractor anchors on *structure*, not statement names, so it stays
+correct after rewrites have moved statements around:
+
+* the **mesh band** is the unique band with a ``mesh_row``-bound member;
+  its child is the chunk-level extension node;
+* within any sequence, the **compute filter** is the unique filter that
+  has children — everything before it is pre-compute communication,
+  everything after is post-compute;
+* descending through a compute filter: an ``ExtensionNode`` child is the
+  next level's peel (top extension → peel filters + compute filter →
+  band), a ``BandNode`` child is a level whose peel has been dissolved
+  (or was never built), a ``MarkNode`` ends the communication nest.
+
+Round-trip invariant: ``materialize(extract_timeline(root))`` leaves the
+tree semantically identical — same filters, same order, same extension
+statements (the golden timeline tests lock this down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import CompilationError
+from repro.poly.schedule_tree import (
+    BandNode,
+    ExtensionNode,
+    FilterNode,
+    ScheduleNode,
+    SequenceNode,
+)
+from repro.schedule.ir import LevelTimeline, ScheduleStep, Segment, Timeline
+
+#: Communication nest levels, outermost first.  ``kouter`` is the A/B
+#: DMA pipeline (the paper's level 1), ``kmid`` the RMA broadcast
+#: pipeline (level 2); non-RMA variants stop after ``kouter``.
+LEVEL_NAMES = ("chunk", "kouter", "kmid")
+
+
+@dataclass
+class _LevelAnchor:
+    """Live tree handles for one level (private to this module)."""
+
+    level: str
+    #: The per-iteration extension node (for ``chunk``: the only one).
+    ext: ExtensionNode
+    seq: SequenceNode
+    compute_filter: FilterNode
+    #: The loop band (None for ``chunk``).
+    band: Optional[BandNode] = None
+    #: The peel extension in front of the band, when present.
+    top_ext: Optional[ExtensionNode] = None
+    top_seq: Optional[SequenceNode] = None
+    #: The node whose child is this level's top structure — needed to
+    #: splice the band back in when an emptied peel dissolves.
+    attach: Optional[ScheduleNode] = None
+
+
+def _compute_filter(seq: SequenceNode) -> FilterNode:
+    """The unique filter child that owns a subtree."""
+    owners = [c for c in seq.children if isinstance(c, FilterNode) and c.children]
+    if len(owners) != 1:
+        raise CompilationError(
+            f"expected exactly one compute filter in sequence, found "
+            f"{len(owners)}"
+        )
+    return owners[0]
+
+
+def _segment_of(ext: ExtensionNode, filt: FilterNode) -> Segment:
+    steps = [ScheduleStep.of(ext.stmt(name)) for name in filt.statements]
+    return Segment(steps, constraints=filt.constraints, label=filt.label)
+
+
+def _split_filters(ext: ExtensionNode, seq: SequenceNode):
+    """(pre-compute segments, compute filter, post-compute segments)."""
+    compute = _compute_filter(seq)
+    body: List[Segment] = []
+    post: List[Segment] = []
+    after = False
+    for child in seq.children:
+        if child is compute:
+            after = True
+            continue
+        if not isinstance(child, FilterNode):
+            raise CompilationError("sequence child is not a filter")
+        seg = _segment_of(ext, child)
+        (post if after else body).append(seg)
+    return body, compute, post
+
+
+def find_mesh_band(root: ScheduleNode) -> BandNode:
+    for node in root.walk():
+        if isinstance(node, BandNode) and any(
+            m.binding == "mesh_row" for m in node.members
+        ):
+            return node
+    raise CompilationError("schedule tree has no mesh band")
+
+
+def extract_timeline(root: ScheduleNode) -> Timeline:
+    """Lift the tree's communication structure into a Timeline."""
+    mesh_band = find_mesh_band(root)
+    chunk_ext = mesh_band.child
+    if not isinstance(chunk_ext, ExtensionNode):
+        raise CompilationError(
+            "mesh band child is not an extension node — the communication "
+            "pass has not run on this tree"
+        )
+    chunk_seq = chunk_ext.child
+    if not isinstance(chunk_seq, SequenceNode):
+        raise CompilationError("chunk extension child is not a sequence")
+
+    anchors: List[_LevelAnchor] = []
+    levels = {}
+
+    body, compute, post = _split_filters(chunk_ext, chunk_seq)
+    anchors.append(_LevelAnchor("chunk", chunk_ext, chunk_seq, compute))
+    levels["chunk"] = LevelTimeline("chunk", peel=[], body=body, post=post)
+
+    parent_filter = compute
+    for level in LEVEL_NAMES[1:]:
+        child = parent_filter.child
+        peel: List[Segment] = []
+        top_ext: Optional[ExtensionNode] = None
+        top_seq: Optional[SequenceNode] = None
+        if isinstance(child, ExtensionNode):
+            top_ext = child
+            top_seq = top_ext.child
+            if not isinstance(top_seq, SequenceNode):
+                raise CompilationError("peel extension child is not a sequence")
+            peel_segs, top_compute, top_post = _split_filters(top_ext, top_seq)
+            if top_post:
+                raise CompilationError("peel sequence has post-compute filters")
+            peel = peel_segs
+            band = top_compute.child
+        else:
+            band = child
+        if not isinstance(band, BandNode):
+            # A mark or the point band: the communication nest ends here.
+            break
+        loop_child = band.child
+        if not isinstance(loop_child, ExtensionNode):
+            break
+        loop_seq = loop_child.child
+        if not isinstance(loop_seq, SequenceNode):
+            raise CompilationError("loop extension child is not a sequence")
+        body, compute, post = _split_filters(loop_child, loop_seq)
+        anchors.append(
+            _LevelAnchor(
+                level,
+                loop_child,
+                loop_seq,
+                compute,
+                band=band,
+                top_ext=top_ext,
+                top_seq=top_seq,
+                attach=parent_filter,
+            )
+        )
+        levels[level] = LevelTimeline(level, peel=peel, body=body, post=post)
+        parent_filter = compute
+
+    return Timeline(levels=levels, anchors=anchors)
+
+
+def _make_filter(seg: Segment) -> FilterNode:
+    return FilterNode(
+        seg.step_names(), constraints=seg.constraints, label=seg.label
+    )
+
+
+def _set_stmts(ext: ExtensionNode, segments: List[Segment]) -> None:
+    stmts = [step.stmt for seg in segments for step in seg.steps]
+    names = [s.name for s in stmts]
+    if len(set(names)) != len(names):
+        raise CompilationError(
+            f"timeline materialization produced duplicate statements: {names}"
+        )
+    ext.stmts = stmts
+
+
+def materialize(timeline: Timeline) -> None:
+    """Write the timeline back into the tree it was extracted from."""
+    anchors = timeline.anchors
+    if not anchors:
+        raise CompilationError("timeline has no anchors; re-extract first")
+    for anchor in anchors:
+        lvl = timeline.level(anchor.level)
+        if lvl is None:
+            raise CompilationError(f"timeline lost level {anchor.level!r}")
+        body = [s for s in lvl.body if s.steps]
+        post = [s for s in lvl.post if s.steps]
+        peel = [s for s in lvl.peel if s.steps]
+        _set_stmts(anchor.ext, body + post)
+        anchor.seq.children = (
+            [_make_filter(s) for s in body]
+            + [anchor.compute_filter]
+            + [_make_filter(s) for s in post]
+        )
+        if anchor.level == "chunk":
+            if peel:
+                raise CompilationError("chunk level cannot carry peel segments")
+            continue
+        if anchor.top_ext is not None:
+            if peel:
+                _set_stmts(anchor.top_ext, peel)
+                top_compute = _compute_filter(anchor.top_seq)
+                anchor.top_seq.children = [
+                    _make_filter(s) for s in peel
+                ] + [top_compute]
+            else:
+                # The whole peel moved elsewhere: dissolve the top
+                # extension and splice the band straight back in.
+                anchor.attach.set_child(anchor.band)
+        elif peel:
+            raise CompilationError(
+                f"level {anchor.level!r} has peel segments but no peel "
+                "extension to hold them"
+            )

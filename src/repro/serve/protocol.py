@@ -273,6 +273,11 @@ _OPTION_KEYS = (
     "epilogue_func",
     "kernel_backend",
     "verify",
+    # structured schedule policy: a mode string ("recipe"/"optimize"/
+    # "off") or a {"mode", "allow", "deny"} object; parsed by
+    # SchedulePolicy.parse via the facade's option coercion, so bad
+    # values surface as structured ProtocolErrors like every other knob.
+    "schedule",
 )
 
 

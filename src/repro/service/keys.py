@@ -48,8 +48,11 @@ from repro.sunway.arch import SW26010PRO, ArchSpec
 #: backend refactor — ``kernel_backend`` joined ``CompilerOptions`` and
 #: ``ArchSpec`` grew register-file fields (``simd_doubles``,
 #: ``vector_registers``), so the canonical arch/options blobs changed
-#: encoding.
-CACHE_SCHEMA_VERSION = 4
+#: encoding.  5: the schedule IR — ``SchedulePolicy`` joined
+#: ``CompilerOptions`` (its canonical pass tuple and the per-rewrite
+#: ``schedule:<name>`` pipeline passes address rewritten timelines
+#: separately from the fixed recipe).
+CACHE_SCHEMA_VERSION = 5
 
 
 def canonical_blob(obj: object) -> str:

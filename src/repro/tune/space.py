@@ -10,6 +10,9 @@ The tuner instead searches the surrounding configuration space:
   :class:`~repro.core.options.TileConfig` so search points are
   self-describing (option reconciliation collapses redundant pins);
 * RMA broadcasts on/off and latency hiding on/off;
+* the schedule policy — the fixed §6 recipe vs. the replay-proven
+  schedule rewrite stack (``--schedule=optimize``), searched only where
+  it can run (hiding candidates on the asm path);
 * the kernel backend — the vendor contract kernel vs. the parametric
   register-tiled generator (:mod:`repro.codegen.backend`), searched
   jointly with the shape since a generated kernel admits shapes the
@@ -26,16 +29,17 @@ result can be cached and replayed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.options import CompilerOptions, TileConfig
+from repro.core.options import CompilerOptions, SchedulePolicy, TileConfig
 from repro.sunway.arch import ArchSpec
 
 #: Bump when the candidate grid or the candidate encoding changes shape —
 #: tuning records are content-addressed by (spec-class, arch, space
 #: version), so old records stop matching instead of silently steering
-#: compiles to points the new space no longer contains.
-SEARCH_SPACE_VERSION = 2
+#: compiles to points the new space no longer contains.  3: the
+#: ``schedule`` axis joined (recipe vs. the optimize rewrite stack).
+SEARCH_SPACE_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -49,6 +53,10 @@ class Candidate:
     #: ``"vendor"`` (the default, and the only pre-v2 value) keeps
     #: candidate names byte-identical with the v1 space.
     kernel_backend: str = "vendor"
+    #: ``None`` keeps the fixed §6 recipe (the pre-v3 behaviour, and the
+    #: only legal value for non-hiding candidates); ``"optimize"`` runs
+    #: the replay-proven schedule rewrite stack on top of the recipe.
+    schedule: Optional[str] = None
 
     def name(self) -> str:
         flags = ("rma" if self.enable_rma else "dma") + (
@@ -57,9 +65,11 @@ class Candidate:
         label = f"{self.tile.name()}:{flags}"
         if self.kernel_backend != "vendor":
             label += f":{self.kernel_backend}"
+        if self.schedule == "optimize":
+            label += ":sched"
         return label
 
-    def knobs(self) -> Tuple[int, int, int, bool, bool, str]:
+    def knobs(self) -> Tuple[int, int, int, bool, bool, str, Optional[str]]:
         """The axes hill-climbing steps along (one knob per move)."""
         return (
             self.tile.mt,
@@ -68,6 +78,7 @@ class Candidate:
             self.enable_rma,
             self.enable_latency_hiding,
             self.kernel_backend,
+            self.schedule,
         )
 
     def apply(self, options: CompilerOptions) -> CompilerOptions:
@@ -79,14 +90,20 @@ class Candidate:
         default — so vendor candidates address the same cache keys as
         pre-v2 tuning runs.
         """
+        hiding = self.enable_latency_hiding and options.use_asm
         return options.with_(
             tile_config=self.tile,
             enable_rma=self.enable_rma,
-            enable_latency_hiding=self.enable_latency_hiding
-            and options.use_asm,
+            enable_latency_hiding=hiding,
             kernel_backend=None
             if self.kernel_backend == "vendor"
             else self.kernel_backend,
+            # The rewrite stack only exists on top of the hiding recipe;
+            # reconciliation would drop a policy on a non-hiding compile
+            # anyway, so map it to the canonical None up front.
+            schedule=SchedulePolicy(mode="optimize")
+            if self.schedule == "optimize" and hiding
+            else None,
         )
 
 
@@ -128,16 +145,22 @@ def enumerate_candidates(
                 for rma in rma_choices:
                     for hiding in hiding_choices:
                         for backend in backend_choices:
-                            tile = TileConfig(
-                                mt=mt,
-                                nt=nt,
-                                kt=kt,
-                                buffer_depth=2 if hiding else 1,
-                                k_strip=arch.mesh_rows if rma else 1,
+                            schedules: Sequence[Optional[str]] = (
+                                (None, "optimize") if hiding else (None,)
                             )
-                            candidates.append(
-                                Candidate(tile, rma, hiding, backend)
-                            )
+                            for schedule in schedules:
+                                tile = TileConfig(
+                                    mt=mt,
+                                    nt=nt,
+                                    kt=kt,
+                                    buffer_depth=2 if hiding else 1,
+                                    k_strip=arch.mesh_rows if rma else 1,
+                                )
+                                candidates.append(
+                                    Candidate(
+                                        tile, rma, hiding, backend, schedule
+                                    )
+                                )
     return candidates
 
 

@@ -28,6 +28,7 @@ from repro.verify.verifier import (
     admit,
     build_certificate,
     machine_params,
+    replay_schedule,
     run_checks,
     verify_program,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "build_certificate",
     "machine_params",
     "plan_spm_slack",
+    "replay_schedule",
     "run_checks",
     "verify_program",
 ]

@@ -44,6 +44,7 @@ __all__ = [
     "admit",
     "build_certificate",
     "machine_params",
+    "replay_schedule",
 ]
 
 
@@ -61,6 +62,19 @@ def machine_params(spec, plan) -> Dict[str, int]:
     if spec.is_batched:
         params[spec.batch_param] = 2
     return params
+
+
+def replay_schedule(cpe_program, plan, spec) -> MachineResult:
+    """Replay one lowered program on the :class:`ScheduleMachine`.
+
+    The legality oracle of the schedule rewrite stack
+    (:mod:`repro.schedule`): a candidate timeline is admitted only when
+    its replay completes on all CPEs with no hazards, no discipline
+    violations and no deadlock.  Shares :func:`machine_params` with the
+    admission checks, so rewrites are proven on exactly the chunk
+    problem the verifier itself replays."""
+    machine = ScheduleMachine(cpe_program, plan.mesh, machine_params(spec, plan))
+    return machine.run()
 
 
 def build_certificate(plan, cpe_program, dma_specs, rma_specs) -> Dict[str, object]:
@@ -168,8 +182,7 @@ def run_checks(
         check_spm_budget(arch, plan, cpe_program),
         check_dma_bounds(spec, plan, dma_specs),
     ]
-    machine = ScheduleMachine(cpe_program, plan.mesh, machine_params(spec, plan))
-    result = machine.run()
+    result = replay_schedule(cpe_program, plan, spec)
     checks.append(_check_hazards(result, plan.mesh))
     checks.append(_check_rma_discipline(result, plan.mesh, plan.use_rma))
     report = VerificationReport(

@@ -24,6 +24,7 @@ EXPECTED_EXPORTS = sorted(
         "GemmSpec",
         "CompilerOptions",
         "TileConfig",
+        "SchedulePolicy",
         # compilation service
         "CompileService",
         "ServiceConfig",

@@ -98,12 +98,19 @@ def test_dump_ir_writes_one_file_per_pass(tmp_path):
     ir = tmp_path / "ir"
     assert main(["compile", "-o", str(out), "--dump-ir", str(ir)]) == 0
     files = sorted(p.name for p in ir.iterdir())
-    assert files == [
+    # One snapshot per pass, plus the final communication timeline of
+    # the double-buffered plan.
+    expected = [
         f"{i:02d}-{name}.txt"
         for i, name in enumerate(DEFAULT_PIPELINE, start=1)
     ]
+    expected.append(f"{len(DEFAULT_PIPELINE) + 1:02d}-schedule-timeline.txt")
+    assert files == expected
     for path in ir.iterdir():
-        assert "--- schedule tree ---" in path.read_text()
+        if path.name.endswith("schedule-timeline.txt"):
+            assert path.read_text().startswith("timeline:")
+        else:
+            assert "--- schedule tree ---" in path.read_text()
 
 
 def test_disable_pass_matches_ablation_byte_exactly(tmp_path):

@@ -1,0 +1,35 @@
+"""Shared helpers for the schedule-IR test suite.
+
+``fresh_context`` compiles one recipe pipeline and hands back the live
+compile context (decomposition + DMA/RMA specs + arch) — the raw
+material :func:`repro.schedule.apply_rewrite` operates on.  Rewrites
+mutate the decomposition in place, so every test that rewrites asks for
+a fresh one.
+"""
+
+import pytest
+
+from repro.core import CompilerOptions, GemmSpec
+from repro.core.pipeline import GemmCompiler
+from repro.sunway.arch import SW26010PRO, TOY_ARCH
+
+
+def fresh_context(arch=TOY_ARCH, options=None, spec=None):
+    """(decomposition, dma_specs, rma_specs, arch) of a recipe compile."""
+    options = options or CompilerOptions.full()
+    spec = spec or GemmSpec()
+    # The admission protocol replays every candidate itself; skipping
+    # the pipeline's terminal verify keeps the fixtures fast.
+    compiler = GemmCompiler(arch, options.with_(verify=False))
+    _, ctx = compiler.compile_with_context(spec)
+    return ctx.decomposition, ctx.dma_specs, ctx.rma_specs, ctx.arch
+
+
+@pytest.fixture
+def toy_context():
+    return fresh_context(TOY_ARCH)
+
+
+@pytest.fixture
+def pro_context():
+    return fresh_context(SW26010PRO)

@@ -1,0 +1,65 @@
+"""Golden before/after timelines for four pipeline variants.
+
+``before`` is the §6 recipe's timeline; ``after`` is what the full
+rewrite stack (``--schedule=optimize``) admits for the same variant.
+Any change to the extractor, the rewrites or the admission protocol
+shows up as a diff here.  Review it, then regenerate with::
+
+    PYTHONPATH=src python -c \
+      "from tests.schedule.test_golden_timelines import regenerate; regenerate()"
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import CompilerOptions, GemmSpec
+from repro.core.options import SchedulePolicy
+from repro.core.pipeline import GemmCompiler
+from repro.schedule import extract_timeline
+from repro.sunway.arch import SW26010PRO
+
+GOLDEN = Path(__file__).parent.parent / "golden" / "schedule"
+
+#: variant name -> (spec, options); each builds a distinct timeline.
+VARIANTS = {
+    "default": (GemmSpec(), CompilerOptions.full()),
+    "no-rma": (GemmSpec(), CompilerOptions.full().with_(enable_rma=False)),
+    "fused": (GemmSpec(epilogue_func="relu"), CompilerOptions.full()),
+    "batched": (
+        GemmSpec(batch_param="BS"),
+        CompilerOptions.full().with_(batch=True),
+    ),
+}
+
+
+def _timeline(variant, optimize):
+    spec, options = VARIANTS[variant]
+    if optimize:
+        options = options.with_(schedule=SchedulePolicy(mode="optimize"))
+    program = GemmCompiler(SW26010PRO, options).compile(spec)
+    return extract_timeline(program.tree).dump()
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    GOLDEN.mkdir(parents=True, exist_ok=True)
+    for variant in VARIANTS:
+        for phase, optimize in (("before", False), ("after", True)):
+            (GOLDEN / f"{variant}-{phase}.txt").write_text(
+                _timeline(variant, optimize)
+            )
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("phase", ["before", "after"])
+def test_timeline_matches_golden(variant, phase):
+    golden = GOLDEN / f"{variant}-{phase}.txt"
+    assert golden.exists(), f"missing golden {golden}; run regenerate()"
+    assert _timeline(variant, phase == "after") == golden.read_text()
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_optimize_actually_rewrites(variant):
+    before = (GOLDEN / f"{variant}-before.txt").read_text()
+    after = (GOLDEN / f"{variant}-after.txt").read_text()
+    assert before != after

@@ -1,0 +1,51 @@
+"""Optimized schedules must be numerically invisible.
+
+The rewrites reorder transfers and waits, never arithmetic: for every
+variant the optimize pipeline's result must be *bit-identical* to the
+recipe's, not merely close.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CompilerOptions, GemmSpec
+from repro.core.options import SchedulePolicy
+from repro.core.pipeline import GemmCompiler
+from repro.runtime.executor import run_gemm
+from repro.sunway.arch import TOY_ARCH
+
+VARIANTS = {
+    "default": (GemmSpec(), CompilerOptions.full(), {}),
+    "no-rma": (GemmSpec(), CompilerOptions.full().with_(enable_rma=False), {}),
+    "fused": (GemmSpec(epilogue_func="relu"), CompilerOptions.full(), {}),
+    "batched": (
+        GemmSpec(batch_param="BS"),
+        CompilerOptions.full().with_(batch=True),
+        {"batch": 3},
+    ),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_optimize_is_bit_identical_to_recipe(variant, rng):
+    spec, options, extra = VARIANTS[variant]
+    recipe = GemmCompiler(TOY_ARCH, options).compile(spec)
+    optimized = GemmCompiler(
+        TOY_ARCH, options.with_(schedule=SchedulePolicy(mode="optimize"))
+    ).compile(spec)
+    assert any(
+        s.name.startswith("schedule:") for s in optimized.pass_stats
+    )
+    M, N, K = 32, 48, 24
+    batch = extra.get("batch")
+    if batch:
+        A = rng.standard_normal((batch, M, K))
+        B = rng.standard_normal((batch, K, N))
+        C0 = rng.standard_normal((batch, M, N))
+    else:
+        A = rng.standard_normal((M, K))
+        B = rng.standard_normal((K, N))
+        C0 = rng.standard_normal((M, N))
+    c_recipe, _ = run_gemm(recipe, A, B, C0.copy(), alpha=1.5, beta=0.5)
+    c_opt, _ = run_gemm(optimized, A, B, C0.copy(), alpha=1.5, beta=0.5)
+    assert np.array_equal(c_recipe, c_opt)

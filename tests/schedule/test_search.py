@@ -1,0 +1,57 @@
+"""The greedy seeded pass-ordering search."""
+
+from repro.core.options import SCHEDULE_PASS_NAMES, SchedulePolicy
+from repro.schedule import greedy_pass_order
+
+
+def synthetic(weights):
+    """Evaluator scoring a policy by summed per-pass weights."""
+
+    def evaluate(policy):
+        if policy is None:
+            return 100.0
+        return 100.0 + sum(weights.get(n, 0.0) for n in policy.pass_names())
+
+    return evaluate
+
+
+def test_recipe_best_returns_none():
+    assert greedy_pass_order(synthetic({})) is None
+    assert greedy_pass_order(
+        synthetic({n: -1.0 for n in SCHEDULE_PASS_NAMES})
+    ) is None
+
+
+def test_greedy_picks_best_first_and_stops_at_no_gain():
+    policy = greedy_pass_order(
+        synthetic({"reorder-issues": 2.0, "split-waits": 0.5})
+    )
+    assert policy == SchedulePolicy(
+        mode="optimize", allow=("reorder-issues", "split-waits")
+    )
+
+
+def test_search_is_a_pure_function_of_the_seed():
+    # All passes tie: the seeded salt decides, deterministically.
+    ties = {n: 1.0 for n in SCHEDULE_PASS_NAMES}
+    a = greedy_pass_order(synthetic(ties), seed=7)
+    b = greedy_pass_order(synthetic(ties), seed=7)
+    assert a == b
+    assert a is not None
+    assert set(a.allow) == set(SCHEDULE_PASS_NAMES)
+
+
+def test_different_seeds_may_break_ties_differently():
+    ties = {n: 1.0 for n in SCHEDULE_PASS_NAMES}
+    orders = {
+        greedy_pass_order(synthetic(ties), seed=s).allow for s in range(16)
+    }
+    assert len(orders) > 1
+
+
+def test_negative_pass_is_never_selected():
+    policy = greedy_pass_order(
+        synthetic({"reorder-issues": 1.0, "retire-waits": -5.0})
+    )
+    assert policy is not None
+    assert "retire-waits" not in policy.allow

@@ -1,0 +1,178 @@
+"""The schedule policy across the public surfaces: facade, wire
+protocol, CLI and the deprecation shim."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import api
+from repro.cli import main
+from repro.core import CompilerOptions, GemmSpec
+from repro.core.options import SchedulePolicy
+from repro.errors import ConfigurationError
+from repro.serve.protocol import ProtocolError, spec_and_options
+from repro.service import CompileService, ServiceConfig
+from repro.sunway.arch import TOY_ARCH
+
+
+@pytest.fixture
+def toy_service():
+    return CompileService(ServiceConfig(cache_dir=None))
+
+
+# -- facade ----------------------------------------------------------------
+
+
+def test_api_compile_accepts_schedule_strings(toy_service):
+    program = api.compile(
+        GemmSpec(), arch=TOY_ARCH, schedule="optimize", service=toy_service
+    )
+    assert program.options.schedule is not None
+    assert program.options.schedule.mode == "optimize"
+    assert any(
+        s.name.startswith("schedule:") for s in program.pass_stats
+    )
+
+
+def test_api_compile_accepts_schedule_dicts(toy_service):
+    program = api.compile(
+        GemmSpec(),
+        arch=TOY_ARCH,
+        schedule={"mode": "optimize", "allow": ["reorder-issues"]},
+        service=toy_service,
+    )
+    names = [s.name for s in program.pass_stats]
+    assert "schedule:reorder-issues" in names
+    assert "schedule:split-waits" not in names
+
+
+def test_api_compile_rejects_bad_schedule(toy_service):
+    with pytest.raises(ConfigurationError):
+        api.compile(GemmSpec(), arch=TOY_ARCH, schedule="warp-speed",
+                    service=toy_service)
+
+
+def test_schedule_policy_is_a_top_level_export():
+    assert repro.SchedulePolicy is SchedulePolicy
+
+
+def test_api_run_matches_recipe_numerically(toy_service):
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal((32, 24))
+    b = rng.standard_normal((24, 48))
+    recipe = api.run(GemmSpec(), a, b, arch=TOY_ARCH, service=toy_service)
+    optimized = api.run(
+        GemmSpec(), a, b, arch=TOY_ARCH, schedule="optimize",
+        service=toy_service,
+    )
+    assert np.array_equal(recipe.c, optimized.c)
+
+
+# -- wire protocol ---------------------------------------------------------
+
+
+def test_wire_schedule_mode_string():
+    _, options, _ = spec_and_options({"arch": "toy", "schedule": "optimize"})
+    assert options.schedule == SchedulePolicy(mode="optimize")
+
+
+def test_wire_schedule_structured_object():
+    _, options, _ = spec_and_options(
+        {"arch": "toy",
+         "schedule": {"mode": "optimize", "deny": ["retire-waits"]}}
+    )
+    assert options.schedule.deny == ("retire-waits",)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "hyperspeed",
+        {"mode": "optimize", "allow": ["defrag"]},
+        {"mode": "optimize", "bogus_key": 1},
+        7,
+    ],
+)
+def test_wire_rejects_bad_schedule_as_protocol_error(bad):
+    with pytest.raises(ProtocolError):
+        spec_and_options({"arch": "toy", "schedule": bad})
+
+
+# -- deprecation shim ------------------------------------------------------
+
+
+def test_hiding_options_shim_warns_and_maps_bit_exactly():
+    from repro.compat import hiding_options
+    from repro.service.keys import cache_key
+
+    spec = GemmSpec()
+    with pytest.deprecated_call():
+        on = hiding_options(True)
+    with pytest.deprecated_call():
+        off = hiding_options(False)
+    assert cache_key(spec, options=on) == cache_key(
+        spec, options=CompilerOptions.full()
+    )
+    assert cache_key(spec, options=off) == cache_key(
+        spec,
+        options=CompilerOptions.full().with_(enable_latency_hiding=False),
+    )
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_passes_list_covers_schedule_namespace(capsys):
+    assert main(["passes", "list", "--schedule=optimize"]) == 0
+    out = capsys.readouterr().out
+    assert "+sched" in out
+    for name in ("schedule:split-waits", "schedule:reorder-issues",
+                 "schedule:merge-transfers", "schedule:retire-waits"):
+        assert name in out
+
+
+def test_cli_schedule_off_drops_hiding(capsys):
+    assert main(["passes", "list", "--schedule=off"]) == 0
+    out = capsys.readouterr().out
+    assert "latency-hiding" not in out
+    assert "communication-schedule" in out
+
+
+def test_cli_schedule_passes_filters_the_stack(capsys):
+    assert main([
+        "passes", "list", "--schedule=optimize",
+        "--schedule-passes", "reorder-issues",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "schedule:reorder-issues" in out
+    assert "schedule:split-waits" not in out
+
+
+def test_cli_rejects_optimize_with_no_hiding(capsys):
+    assert main(["passes", "list", "--schedule=optimize", "--no-hiding"]) == 1
+    err = capsys.readouterr().err
+    assert "--schedule=optimize" in err
+
+
+def test_cli_rejects_schedule_passes_without_optimize(capsys):
+    assert main(["passes", "list", "--schedule-passes", "split-waits"]) == 1
+    err = capsys.readouterr().err
+    assert "--schedule=optimize" in err
+
+
+def test_cli_tree_appends_the_timeline(capsys):
+    assert main(["tree", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "--- schedule timeline ---" in out
+    assert "timeline:" in out
+
+
+def test_cli_dump_ir_includes_timeline_artifact(tmp_path, capsys):
+    outdir = tmp_path / "ir"
+    assert main(["tree", "--dump-ir", str(outdir), "--no-cache"]) == 0
+    files = sorted(p.name for p in outdir.iterdir())
+    assert any(name.endswith("schedule-timeline.txt") for name in files)
+    timeline = next(
+        p for p in outdir.iterdir() if p.name.endswith("schedule-timeline.txt")
+    )
+    assert timeline.read_text().startswith("timeline:")

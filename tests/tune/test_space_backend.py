@@ -21,7 +21,7 @@ from repro.tune.space import (
 
 
 def test_space_version_bumped_for_backend_axis():
-    assert SEARCH_SPACE_VERSION == 2
+    assert SEARCH_SPACE_VERSION == 3
 
 
 def test_vendor_candidate_names_unchanged_from_v1():
